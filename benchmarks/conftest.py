@@ -1,0 +1,48 @@
+"""Shared fixtures and reporting helpers for the experiment benchmarks.
+
+Every ``bench_eNN_*.py`` file regenerates one quantitative claim of the
+AIMS paper (see DESIGN.md's experiment index).  Result tables are printed
+*and* written to ``benchmarks/results/<experiment>.txt`` so the run leaves
+an auditable record regardless of pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """``emit(experiment_id, text)``: print and persist a result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(experiment_id: str, text: str) -> None:
+        banner = f"==== {experiment_id} ===="
+        print(f"\n{banner}\n{text}")
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """One deterministic generator per benchmark session."""
+    return np.random.default_rng(2003)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Fixed-width text table (the paper-style report format)."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) + 2
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return "".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * (w - 2) for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)

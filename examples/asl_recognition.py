@@ -1,0 +1,99 @@
+"""The ASL recognition application of §2.2 / §3.4, end to end.
+
+Trains a 10-sign vocabulary from synthesized CyberGlove performances,
+compares the four similarity measures on isolated-sign classification
+(weighted SVD vs the Euclidean/DFT/DWT alternatives of §3.4.2), then runs
+the real-time isolate-and-recognize pipeline over a continuous multi-sign
+session.
+
+Run:
+    python examples/asl_recognition.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AIMS
+from repro.online.recognizer import RecognizerConfig, classify_instance
+from repro.online.similarity import SIMILARITY_MEASURES
+from repro.online.vocabulary import MotionVocabulary
+from repro.sensors.asl import ASL_VOCABULARY, synthesize_session, synthesize_sign
+from repro.sensors.noise import NoiseModel
+
+
+def main() -> None:
+    rng = np.random.default_rng(34)  # §3.4
+    print(f"vocabulary: {[s.name for s in ASL_VOCABULARY]}")
+
+    # ---- training -----------------------------------------------------------
+    training = {
+        spec.name: [synthesize_sign(spec, rng).frames for _ in range(5)]
+        for spec in ASL_VOCABULARY
+    }
+    vocabulary = MotionVocabulary.from_instances(training)
+    templates = {name: mats[0] for name, mats in training.items()}
+
+    # ---- isolated-sign classification: measure shoot-out --------------------
+    # Test instances carry heavy time warp, imprecise isolation boundaries
+    # (onset jitter) and sensor noise: the regime where the paper argues
+    # alignment-based measures break down and weighted SVD does not.
+    print("\n== isolated-sign accuracy by similarity measure ==")
+    hard_noise = NoiseModel(white_sigma=2.0)
+    test_set = [
+        (
+            spec.name,
+            synthesize_sign(
+                spec, rng, noise=hard_noise,
+                warp_range=(0.6, 1.6), onset_jitter=0.5,
+            ).frames,
+        )
+        for spec in ASL_VOCABULARY
+        for _ in range(8)
+    ]
+    for measure_name, measure in SIMILARITY_MEASURES.items():
+        correct = sum(
+            1
+            for truth, inst in test_set
+            if classify_instance(inst, vocabulary, measure, templates) == truth
+        )
+        print(f"  {measure_name:12s}: {correct / len(test_set):.1%}")
+
+    # ---- streaming isolation + recognition ---------------------------------
+    print("\n== real-time stream recognition ==")
+    sequence = [ASL_VOCABULARY[i] for i in (5, 0, 9, 7, 6, 2)]
+    frames, segments = synthesize_session(sequence, rng, gap_duration=0.8)
+    print(f"stream: {frames.shape[0]} frames, "
+          f"{len(segments)} signs to isolate")
+
+    system = AIMS()
+    system.train_vocabulary(training)
+    recognizer = system.recognizer(
+        rest_frames=frames[: segments[0].start],
+        config=RecognizerConfig(window=50, compare_every=10,
+                                declare_threshold=0.4, decline_steps=3),
+    )
+    detections = recognizer.process(frames)
+
+    print(f"{'truth':8s} {'span':>14s}   {'detected':8s} {'span':>14s}")
+    for i in range(max(len(segments), len(detections))):
+        truth = segments[i] if i < len(segments) else None
+        det = detections[i] if i < len(detections) else None
+        left = (f"{truth.name:8s} [{truth.start:5d},{truth.end:5d}]"
+                if truth else " " * 22)
+        right = (f"{det.name:8s} [{det.start:5d},{det.end:5d}]"
+                 if det else "")
+        print(f"{left}   {right}")
+
+    matched = sum(
+        1
+        for det in detections
+        for seg in segments
+        if det.name == seg.name and det.start < seg.end and seg.start < det.end
+    )
+    print(f"\ndetections overlapping a same-name ground-truth segment: "
+          f"{matched}/{len(segments)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""The deployed AIMS loop: live acquisition feeding live recognition.
+
+Everything in this script is *causal*: a simulated signer performs signs
+tick by tick; the streaming adaptive sampler decides per tick what to
+record (using only the past); the recorded samples cross a jittery, lossy
+wire; the multiplexer reassembles frames; and the recognizer isolates and
+names the signs — while the recorded bandwidth stays a fraction of the
+raw device rate.  This is Fig. 1's left-to-right data path running as one
+pipeline rather than as separate subsystem demos.
+
+Run:
+    python examples/live_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AIMS
+from repro.online.recognizer import RecognizerConfig
+from repro.sensors.asl import ASL_VOCABULARY, synthesize_session, synthesize_sign
+from repro.streams.jitter import perturb_timing
+from repro.streams.multiplex import multiplex
+from repro.streams.sample import frames_to_matrix
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)  # §3.1
+    rate_hz = 100.0
+    system = AIMS()
+
+    # ---- the signer ---------------------------------------------------------
+    signs = [ASL_VOCABULARY[i] for i in (5, 0, 9, 7)]
+    system.train_vocabulary(
+        {s.name: [synthesize_sign(s, rng).frames for _ in range(4)]
+         for s in signs}
+    )
+    frames, segments = synthesize_session(signs, rng, gap_duration=0.8)
+    print(f"signer performs: {[s.name for s in segments]} "
+          f"({frames.shape[0]} device ticks)")
+
+    # ---- causal acquisition ---------------------------------------------------
+    sampler = system.live_sampler(width=28, rate_hz=rate_hz)
+    samples = sampler.process(frames)
+    raw_bytes = frames.size * 4
+    recorded_bytes = len(samples) * 4
+    print(f"live adaptive sampling: {recorded_bytes} of {raw_bytes} bytes "
+          f"({recorded_bytes / raw_bytes:.1%}), "
+          f"{sampler.stats.rate_updates} rate updates")
+
+    # ---- a lossy wire -----------------------------------------------------------
+    messy = perturb_timing(
+        iter(samples), rng, jitter_sd=0.001, drop_prob=0.02
+    )
+    rebuilt = frames_to_matrix(
+        list(multiplex(messy, list(range(28)), rate_hz=rate_hz))
+    )
+    print(f"wire: 2% drops + 1 ms jitter -> {rebuilt.shape[0]} frames "
+          f"reassembled by the multiplexer")
+
+    # ---- live recognition --------------------------------------------------------
+    recognizer = system.recognizer(
+        rest_frames=rebuilt[: segments[0].start],
+        config=RecognizerConfig(window=50, compare_every=10,
+                                declare_threshold=0.4, decline_steps=3),
+    )
+    detections = recognizer.process(rebuilt)
+    print(f"recognized    : {[d.name for d in detections]}")
+    hits = sum(1 for d, s in zip(detections, segments) if d.name == s.name)
+    print(f"{hits}/{len(segments)} signs recognized from the sampled, "
+          f"jittered stream")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — a full reproduction of "AIMS: An Immersidata Management System"
+(Shahabi, CIDR 2003).
+
+The top-level package re-exports the public facade; subsystem packages
+follow the paper's architecture:
+
+* :mod:`repro.core` — the AIMS facade and immersidata schema;
+* :mod:`repro.streams` — continuous-data-stream substrate;
+* :mod:`repro.sensors` — simulators for the paper's devices and studies;
+* :mod:`repro.wavelets` — DWT/DWPT, lazy transform, error tree;
+* :mod:`repro.acquisition` — Nyquist estimation and sampling strategies;
+* :mod:`repro.storage` — simulated disk, tiling allocation, BLOB catalog;
+* :mod:`repro.query` — ProPolyne and the off-line query subsystem;
+* :mod:`repro.online` — weighted-SVD recognition over streams;
+* :mod:`repro.analysis` — SVM, features, validation, summary statistics.
+"""
+
+from repro.core.aims import AIMS, AIMSConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["AIMS", "AIMSConfig", "__version__"]

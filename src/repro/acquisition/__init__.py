@@ -1,0 +1,55 @@
+"""Acquisition subsystem: Nyquist estimation, sampling strategies,
+compression codecs and per-dimension basis selection (§3.1 of the paper)."""
+
+from repro.acquisition.adpcm import AdpcmBlock, AdpcmCodec
+from repro.acquisition.basis_select import BasisChoice, select_bases, select_basis
+from repro.acquisition.combined import CombinedResult, compress_sampled
+from repro.acquisition.huffman import (
+    HuffmanCode,
+    build_code,
+    compressed_size,
+    decode,
+    encode,
+)
+from repro.acquisition.nyquist import (
+    estimate_fmax_autocorr,
+    estimate_fmax_dft,
+    estimate_fmax_mse,
+    nyquist_rate,
+    required_rates,
+)
+from repro.acquisition.streaming import StreamingAdaptiveSampler, StreamingStats
+from repro.acquisition.sampling import (
+    AdaptiveSampler,
+    FixedSampler,
+    GroupedSampler,
+    ModifiedFixedSampler,
+    SamplingResult,
+)
+
+__all__ = [
+    "estimate_fmax_dft",
+    "estimate_fmax_autocorr",
+    "estimate_fmax_mse",
+    "nyquist_rate",
+    "required_rates",
+    "SamplingResult",
+    "FixedSampler",
+    "ModifiedFixedSampler",
+    "GroupedSampler",
+    "AdaptiveSampler",
+    "StreamingAdaptiveSampler",
+    "StreamingStats",
+    "AdpcmCodec",
+    "AdpcmBlock",
+    "HuffmanCode",
+    "build_code",
+    "encode",
+    "decode",
+    "compressed_size",
+    "BasisChoice",
+    "CombinedResult",
+    "compress_sampled",
+    "select_basis",
+    "select_bases",
+]

@@ -1,0 +1,154 @@
+"""Per-dimension transformation-basis selection (§3.1.1).
+
+The paper's multi-bases proposal: "each dimension requires its own
+transformation which may be different from others.  Suppose a sensor is
+confined to a limited area ... we may want to use the standard basis
+(i.e., no transform) on the small relation (sensor_id, x, y, z) and use
+wavelets on the others."  And crucially: "the selected basis per dimension
+... must be consistent with those needed by the query engine."
+
+This module implements that choice.  For each dimension of a relation it
+picks, from the wavelet-packet basis library:
+
+* ``standard`` — no transform, for low-cardinality dimensions (categorical
+  ids, coarse coordinates), which the hybrid query engine then treats
+  relationally;
+* ``wavelet`` — the plain DWT cover, for dense ordered dimensions, which
+  ProPolyne queries directly;
+* ``packet`` — a deeper best-basis cover, when the packet cost beats the
+  DWT cost by a worthwhile margin (acquisition-side compression; query
+  support for general packet bases is the paper's future work, so the
+  selector only proposes it when ``allow_packet`` is set).
+
+The decision procedure doubles as the "algorithm which efficiently
+identifies good dimension decompositions as part of the database
+population process" promised in §3.3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import TransformError
+from repro.wavelets.dwt import max_levels, wavedec
+from repro.wavelets.filters import get_filter
+from repro.wavelets.packet import best_basis, shannon_cost, wavelet_packet_decompose
+
+__all__ = ["BasisChoice", "select_basis", "select_bases"]
+
+
+@dataclass(frozen=True)
+class BasisChoice:
+    """Selected basis for one dimension.
+
+    Attributes:
+        dimension: Column index in the relation.
+        kind: ``"standard"``, ``"wavelet"`` or ``"packet"``.
+        detail: Cardinality for standard; packet cover for packet; empty
+            for wavelet.
+        cost: Information cost of the chosen representation (lower is
+            better; standard dimensions report the log-cardinality).
+    """
+
+    dimension: int
+    kind: str
+    detail: tuple
+    cost: float
+
+
+def select_basis(
+    column: np.ndarray,
+    dimension: int = 0,
+    cardinality_threshold: int = 16,
+    wavelet: str = "db2",
+    allow_packet: bool = False,
+    packet_margin: float = 0.95,
+) -> BasisChoice:
+    """Choose a basis for one dimension.
+
+    Args:
+        column: The dimension's values across the relation.
+        dimension: Column index recorded in the result.
+        cardinality_threshold: At or below this many distinct values the
+            standard basis wins (relational selection beats any transform
+            on categorical data).
+        wavelet: Filter for the transform alternatives.
+        allow_packet: Permit the packet cover when its cost is below
+            ``packet_margin`` times the DWT cost.
+        packet_margin: Required cost advantage for the packet basis.
+
+    Returns:
+        The :class:`BasisChoice`.
+    """
+    values = np.asarray(column, dtype=float).ravel()
+    if values.size == 0:
+        raise TransformError("cannot select a basis for an empty dimension")
+    distinct = np.unique(values)
+    if distinct.size <= cardinality_threshold:
+        return BasisChoice(
+            dimension=dimension,
+            kind="standard",
+            detail=(int(distinct.size),),
+            cost=float(np.log2(max(2, distinct.size))),
+        )
+
+    filt = get_filter(wavelet)
+    usable = values
+    # Transforms need an even, filter-supported length; truncate the probe.
+    depth = max_levels(usable.size, filt)
+    if depth == 0:
+        return BasisChoice(
+            dimension=dimension,
+            kind="standard",
+            detail=(int(distinct.size),),
+            cost=float(np.log2(distinct.size)),
+        )
+    dwt_cost = shannon_cost(wavedec(usable[: (usable.size >> depth) << depth],
+                                    filt, levels=depth).to_flat())
+    if allow_packet:
+        tree = wavelet_packet_decompose(
+            usable[: (usable.size >> depth) << depth], filt, max_level=depth
+        )
+        cover = best_basis(tree)
+        packet_cost = sum(shannon_cost(tree[p].data) for p in cover)
+        if packet_cost < packet_margin * dwt_cost:
+            return BasisChoice(
+                dimension=dimension,
+                kind="packet",
+                detail=tuple(cover),
+                cost=float(packet_cost),
+            )
+    return BasisChoice(
+        dimension=dimension, kind="wavelet", detail=(), cost=float(dwt_cost)
+    )
+
+
+def select_bases(
+    relation: np.ndarray,
+    cardinality_threshold: int = 16,
+    wavelet: str = "db2",
+    allow_packet: bool = False,
+) -> list[BasisChoice]:
+    """Choose a basis for every column of a ``(rows, dims)`` relation.
+
+    This is the acquisition-side half of the hybrid engine: the returned
+    standard-dimension set is exactly what
+    :class:`repro.query.hybrid.HybridEngine` partitions on.
+    """
+    matrix = np.asarray(relation, dtype=float)
+    if matrix.ndim != 2:
+        raise TransformError(
+            f"expected a (rows, dims) relation, got ndim={matrix.ndim}"
+        )
+    return [
+        select_basis(
+            matrix[:, d],
+            dimension=d,
+            cardinality_threshold=cardinality_threshold,
+            wavelet=wavelet,
+            allow_packet=allow_packet,
+        )
+        for d in range(matrix.shape[1])
+    ]

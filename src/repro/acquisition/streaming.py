@@ -1,0 +1,138 @@
+"""Causal (online) adaptive sampling.
+
+The samplers in :mod:`repro.acquisition.sampling` look at a *recorded*
+session, which is fine for studying strategies but not how §3.1's
+acquisition subsystem runs: it must decide, live, which readings to record
+"according to the level of activity within the session window" — using
+only the past.
+
+:class:`StreamingAdaptiveSampler` is that causal version.  The device
+still produces every tick (sampling decides what to *record*, not what
+the hardware senses); the sampler re-estimates each sensor's required
+rate from the window that just closed and applies it to the next window.
+The first window, with no history, records at the full device rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import AcquisitionError
+from repro.acquisition.nyquist import estimate_fmax_mse, nyquist_rate
+from repro.streams.sample import Sample
+
+__all__ = ["StreamingAdaptiveSampler", "StreamingStats"]
+
+
+@dataclass
+class StreamingStats:
+    """Running accounting of a causal sampling session."""
+
+    ticks_seen: int = 0
+    samples_recorded: int = 0
+    rate_updates: int = 0
+
+    @property
+    def record_fraction(self) -> float:
+        """Recorded readings per device tick (28 sensors -> up to 28.0)."""
+        if self.ticks_seen == 0:
+            return 0.0
+        return self.samples_recorded / self.ticks_seen
+
+
+@dataclass
+class StreamingAdaptiveSampler:
+    """Online per-sensor adaptive sampler.
+
+    Args:
+        width: Sensor count per frame.
+        rate_hz: Device tick rate.
+        window_seconds: Re-estimation period.
+        tolerance: MSE-estimator NRMSE tolerance.
+        min_rate_hz: Slowest rate any sensor is recorded at.
+        sensor_ids: Ids used in emitted samples (default 0..width-1).
+    """
+
+    width: int
+    rate_hz: float
+    window_seconds: float = 1.0
+    tolerance: float = 0.05
+    min_rate_hz: float = 1.0
+    sensor_ids: list[int] | None = None
+    stats: StreamingStats = field(default_factory=StreamingStats)
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise AcquisitionError(f"width must be >= 1, got {self.width}")
+        if self.rate_hz <= 0 or self.window_seconds <= 0:
+            raise AcquisitionError("rate and window must be positive")
+        if self.sensor_ids is None:
+            self.sensor_ids = list(range(self.width))
+        if len(self.sensor_ids) != self.width:
+            raise AcquisitionError(
+                f"{len(self.sensor_ids)} sensor ids for width {self.width}"
+            )
+        self._window_ticks = max(16, int(self.window_seconds * self.rate_hz))
+        self._buffer: list[np.ndarray] = []
+        # Current per-sensor decimation factors; 1 = record everything
+        # (the cold-start policy for the first window).
+        self._factors = np.ones(self.width, dtype=int)
+        # Running per-sensor amplitude spread (activity scale).
+        self._lo = np.full(self.width, np.inf)
+        self._hi = np.full(self.width, -np.inf)
+        self._tick = 0
+
+    def _reestimate(self) -> None:
+        """Close the current window: derive next-window rates from it."""
+        window = np.array(self._buffer)
+        self._buffer.clear()
+        self._lo = np.minimum(self._lo, window.min(axis=0))
+        self._hi = np.maximum(self._hi, window.max(axis=0))
+        scales = self._hi - self._lo
+        for s in range(self.width):
+            scale = float(scales[s]) if scales[s] > 0 else None
+            f_max = estimate_fmax_mse(
+                window[:, s], self.rate_hz,
+                tolerance=self.tolerance, scale=scale,
+            )
+            required = max(self.min_rate_hz, nyquist_rate(f_max))
+            self._factors[s] = max(1, int(self.rate_hz // required))
+        self.stats.rate_updates += self.width
+
+    def push(self, values: np.ndarray) -> list[Sample]:
+        """Feed one device tick; returns the readings recorded for it."""
+        frame = np.asarray(values, dtype=float)
+        if frame.shape != (self.width,):
+            raise AcquisitionError(
+                f"frame shape {frame.shape} != ({self.width},)"
+            )
+        timestamp = self._tick / self.rate_hz
+        recorded = []
+        for s in range(self.width):
+            if self._tick % self._factors[s] == 0:
+                recorded.append(
+                    Sample(
+                        timestamp=timestamp,
+                        sensor_id=self.sensor_ids[s],
+                        value=float(frame[s]),
+                    )
+                )
+        self._tick += 1
+        self.stats.ticks_seen += 1
+        self.stats.samples_recorded += len(recorded)
+        self._buffer.append(frame)
+        if len(self._buffer) >= self._window_ticks:
+            self._reestimate()
+        return recorded
+
+    def process(self, frames) -> list[Sample]:
+        """Run a whole frame iterable through the sampler."""
+        out: list[Sample] = []
+        for frame in frames:
+            values = (
+                frame.as_array() if hasattr(frame, "as_array") else frame
+            )
+            out.extend(self.push(values))
+        return out

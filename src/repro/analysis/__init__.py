@@ -1,0 +1,54 @@
+"""Analysis toolkit: from-scratch SVM, motion features, validation and
+second-order statistics from range-sums (§2.1 and §3.4.1 of the paper)."""
+
+from repro.analysis.behaviour import (
+    MissContext,
+    attention_periods,
+    distractions_near_misses,
+    hits_vs_attention_covariance,
+)
+from repro.analysis.classical import (
+    DecisionTree,
+    GaussianNaiveBayes,
+    OneVsRestSVM,
+    motion_features,
+)
+from repro.analysis.features import (
+    cohort_features,
+    session_features,
+    tracker_speed_features,
+)
+from repro.analysis.mlp import MLPClassifier
+from repro.analysis.stats import SummaryStats, one_way_anova, welch_t_test
+from repro.analysis.svm import SVM
+from repro.analysis.validation import (
+    Standardizer,
+    accuracy,
+    confusion,
+    cross_validate,
+    kfold_indices,
+)
+
+__all__ = [
+    "SVM",
+    "GaussianNaiveBayes",
+    "DecisionTree",
+    "OneVsRestSVM",
+    "MLPClassifier",
+    "motion_features",
+    "MissContext",
+    "distractions_near_misses",
+    "attention_periods",
+    "hits_vs_attention_covariance",
+    "tracker_speed_features",
+    "session_features",
+    "cohort_features",
+    "Standardizer",
+    "accuracy",
+    "confusion",
+    "kfold_indices",
+    "cross_validate",
+    "SummaryStats",
+    "welch_t_test",
+    "one_way_anova",
+]

@@ -1,0 +1,230 @@
+"""Classical batch learners — the pre-AIMS recognition baselines (§1.2).
+
+"Our previous efforts [28, 5] in pattern recognition from this data set
+focused on using conventional learning techniques such as Bayesian
+Classifiers, Decision Trees and Neural Nets.  However, these techniques
+are not appropriate for streaming data and only work well when the whole
+data is available."
+
+This module implements two of those baselines from scratch — a Gaussian
+naive Bayes classifier and a CART-style decision tree — plus a
+one-vs-rest multiclass wrapper for the SMO SVM.  Experiment E8c uses them
+to reproduce the comparison: on *isolated* instances with engineered
+features they are competitive, but they classify fixed-length feature
+vectors of completed motions, which is exactly the "whole data available"
+assumption the streaming recognizer removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import AIMSError
+
+__all__ = ["GaussianNaiveBayes", "DecisionTree", "OneVsRestSVM", "motion_features"]
+
+
+class _ClassicalError(AIMSError):
+    """Classical-learner misuse."""
+
+
+def motion_features(matrix: np.ndarray) -> np.ndarray:
+    """Fixed-length feature vector of one completed motion.
+
+    Per channel: mean, standard deviation, mean absolute first difference
+    (speed) — the kind of engineered summary [28]-era classifiers ate.
+    Requires the whole motion, which is the baselines' structural
+    limitation.
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] < 2:
+        raise _ClassicalError(
+            f"need a (time >= 2, sensors) motion, got {arr.shape}"
+        )
+    speed = np.abs(np.diff(arr, axis=0)).mean(axis=0)
+    return np.concatenate([arr.mean(axis=0), arr.std(axis=0), speed])
+
+
+class GaussianNaiveBayes:
+    """Per-class independent Gaussians over feature dimensions."""
+
+    def __init__(self, var_floor: float = 1e-6) -> None:
+        if var_floor <= 0:
+            raise _ClassicalError("variance floor must be positive")
+        self.var_floor = var_floor
+        self._fitted = False
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        """Estimate per-class Gaussians and priors; returns self."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2 or x.shape[0] != y.size:
+            raise _ClassicalError(f"bad shapes: x {x.shape}, y {y.shape}")
+        self.classes_ = np.unique(y)
+        self._mean = {}
+        self._var = {}
+        self._log_prior = {}
+        for cls in self.classes_:
+            members = x[y == cls]
+            if members.shape[0] == 0:
+                raise _ClassicalError(f"class {cls!r} has no members")
+            self._mean[cls] = members.mean(axis=0)
+            self._var[cls] = members.var(axis=0) + self.var_floor
+            self._log_prior[cls] = float(
+                np.log(members.shape[0] / x.shape[0])
+            )
+        self._fitted = True
+        return self
+
+    def _log_likelihood(self, x: np.ndarray) -> np.ndarray:
+        rows = []
+        for cls in self.classes_:
+            mean, var = self._mean[cls], self._var[cls]
+            ll = -0.5 * np.sum(
+                np.log(2 * np.pi * var) + (x - mean) ** 2 / var, axis=1
+            )
+            rows.append(ll + self._log_prior[cls])
+        return np.column_stack(rows)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class label per row of ``x``."""
+        if not self._fitted:
+            raise _ClassicalError("naive Bayes is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return self.classes_[np.argmax(self._log_likelihood(x), axis=1)]
+
+
+@dataclass
+class _TreeNode:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_TreeNode | None" = None
+    right: "_TreeNode | None" = None
+    label: object = None  # leaf payload
+
+
+class DecisionTree:
+    """A small CART classifier (Gini impurity, axis-aligned splits)."""
+
+    def __init__(self, max_depth: int = 6, min_leaf: int = 2) -> None:
+        if max_depth < 1 or min_leaf < 1:
+            raise _ClassicalError("max_depth and min_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self._root: _TreeNode | None = None
+
+    @staticmethod
+    def _gini(y: np.ndarray) -> float:
+        __, counts = np.unique(y, return_counts=True)
+        p = counts / y.size
+        return float(1.0 - np.sum(p * p))
+
+    def _best_split(self, x, y):
+        best = (None, None, np.inf)
+        parent = self._gini(y)
+        for feature in range(x.shape[1]):
+            order = np.argsort(x[:, feature], kind="stable")
+            values = x[order, feature]
+            labels = y[order]
+            for i in range(self.min_leaf, x.shape[0] - self.min_leaf + 1):
+                if values[i - 1] == values[min(i, values.size - 1)]:
+                    continue
+                left, right = labels[:i], labels[i:]
+                score = (
+                    left.size * self._gini(left)
+                    + right.size * self._gini(right)
+                ) / y.size
+                if score < best[2]:
+                    threshold = 0.5 * (values[i - 1] + values[i])
+                    best = (feature, float(threshold), score)
+        if best[0] is None or best[2] >= parent:
+            return None
+        return best[0], best[1]
+
+    def _grow(self, x, y, depth):
+        labels, counts = np.unique(y, return_counts=True)
+        majority = labels[np.argmax(counts)]
+        if depth >= self.max_depth or labels.size == 1 or y.size < 2 * self.min_leaf:
+            return _TreeNode(label=majority)
+        split = self._best_split(x, y)
+        if split is None:
+            return _TreeNode(label=majority)
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return _TreeNode(label=majority)
+        return _TreeNode(
+            feature=feature,
+            threshold=threshold,
+            left=self._grow(x[mask], y[mask], depth + 1),
+            right=self._grow(x[~mask], y[~mask], depth + 1),
+        )
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        """Grow the tree on the training data; returns self."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2 or x.shape[0] != y.size or y.size == 0:
+            raise _ClassicalError(f"bad shapes: x {x.shape}, y {y.shape}")
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class label per row of ``x``."""
+        if self._root is None:
+            raise _ClassicalError("decision tree is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        out = []
+        for row in x:
+            node = self._root
+            while node.label is None:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out.append(node.label)
+        return np.array(out)
+
+    def depth(self) -> int:
+        """Realized tree depth (after fit)."""
+        def walk(node):
+            if node is None or node.label is not None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        if self._root is None:
+            raise _ClassicalError("decision tree is not fitted")
+        return walk(self._root)
+
+
+class OneVsRestSVM:
+    """Multiclass wrapper: one SMO SVM per class, argmax of margins."""
+
+    def __init__(self, **svm_kwargs) -> None:
+        self._svm_kwargs = svm_kwargs
+        self._models: dict = {}
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "OneVsRestSVM":
+        """Train one binary SVM per class; returns self."""
+        from repro.analysis.svm import SVM
+
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2 or x.shape[0] != y.size:
+            raise _ClassicalError(f"bad shapes: x {x.shape}, y {y.shape}")
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise _ClassicalError("need at least two classes")
+        self._models = {}
+        for cls in self.classes_:
+            labels = np.where(y == cls, 1.0, -1.0)
+            self._models[cls] = SVM(**self._svm_kwargs).fit(x, labels)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class label per row of ``x``."""
+        if not self._models:
+            raise _ClassicalError("one-vs-rest SVM is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        margins = np.column_stack(
+            [self._models[cls].decision_function(x) for cls in self.classes_]
+        )
+        return self.classes_[np.argmax(margins, axis=1)]

@@ -1,0 +1,72 @@
+"""Tracker motion-speed features for the ADHD study (§2.1).
+
+The paper's successful feature: "the motion speed of different trackers".
+For each tracker site the position channels (X, Y, Z) give a translational
+speed series and the rotation channels (H, P, R) an angular one; each is
+summarized by mean / standard deviation / peak, and the per-site vectors
+are concatenated into one subject feature vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import SchemaError
+from repro.sensors.classroom import ClassroomSession
+
+__all__ = ["tracker_speed_features", "session_features", "cohort_features"]
+
+FEATURES_PER_TRACKER = 6  # mean/std/max for translation and rotation speed
+
+
+def tracker_speed_features(matrix: np.ndarray, rate_hz: float) -> np.ndarray:
+    """Speed summary of one tracker's ``(frames, 6)`` stream.
+
+    Returns:
+        ``[mean_v, std_v, max_v, mean_w, std_w, max_w]`` where ``v`` is
+        translational speed (units/s from X, Y, Z) and ``w`` angular speed
+        (deg/s from H, P, R).
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 6 or arr.shape[0] < 2:
+        raise SchemaError(
+            f"tracker stream must be (frames >= 2, 6), got {arr.shape}"
+        )
+    if rate_hz <= 0:
+        raise SchemaError(f"rate must be positive, got {rate_hz}")
+    deltas = np.diff(arr, axis=0) * rate_hz
+    trans = np.linalg.norm(deltas[:, :3], axis=1)
+    rot = np.linalg.norm(deltas[:, 3:], axis=1)
+    return np.array(
+        [
+            trans.mean(), trans.std(), trans.max(),
+            rot.mean(), rot.std(), rot.max(),
+        ]
+    )
+
+
+def session_features(session: ClassroomSession) -> np.ndarray:
+    """Concatenated per-tracker speed features for one subject session."""
+    parts = [
+        tracker_speed_features(session.trackers[site], session.rate_hz)
+        for site in sorted(session.trackers)
+    ]
+    return np.concatenate(parts)
+
+
+def cohort_features(
+    sessions: list[ClassroomSession],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Feature matrix and ±1 labels for a cohort.
+
+    Returns:
+        ``(x, y)`` with ``y[i] = +1`` for ADHD subjects, ``-1`` for
+        controls.
+    """
+    if not sessions:
+        raise SchemaError("cohort is empty")
+    x = np.array([session_features(s) for s in sessions])
+    y = np.array(
+        [1.0 if s.profile.group == "adhd" else -1.0 for s in sessions]
+    )
+    return x, y

@@ -1,0 +1,128 @@
+"""A small multilayer perceptron — the third conventional baseline.
+
+§1.2 names "Bayesian Classifiers, Decision Trees and Neural Nets" as the
+techniques the authors' earlier haptic-recognition work used.  This module
+supplies the neural net: one hidden tanh layer, softmax output,
+mini-batch SGD with momentum, all in numpy.  Like the other classical
+learners it consumes fixed-length features of *completed* motions — the
+batch assumption the streaming recognizer removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import AIMSError
+
+__all__ = ["MLPClassifier"]
+
+
+class _MLPError(AIMSError):
+    """MLP misuse."""
+
+
+class MLPClassifier:
+    """One-hidden-layer softmax classifier.
+
+    Args:
+        hidden: Hidden-layer width.
+        epochs: Training epochs.
+        lr: Learning rate.
+        momentum: Classical momentum coefficient.
+        batch_size: Mini-batch size.
+        seed: Weight-init / shuffling seed (determinism).
+    """
+
+    def __init__(
+        self,
+        hidden: int = 32,
+        epochs: int = 200,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        batch_size: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if hidden < 1 or epochs < 1 or batch_size < 1:
+            raise _MLPError("hidden, epochs and batch_size must be >= 1")
+        if lr <= 0 or not 0 <= momentum < 1:
+            raise _MLPError("need lr > 0 and 0 <= momentum < 1")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.momentum = momentum
+        self.batch_size = batch_size
+        self.seed = seed
+        self._fitted = False
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        """Train with mini-batch SGD + momentum; returns self."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2 or x.shape[0] != y.size or y.size == 0:
+            raise _MLPError(f"bad shapes: x {x.shape}, y {y.shape}")
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise _MLPError("need at least two classes")
+        index = {cls: i for i, cls in enumerate(self.classes_)}
+        targets = np.array([index[v] for v in y])
+
+        # Standardize inputs (kept for predict).
+        self._mu = x.mean(axis=0)
+        sd = x.std(axis=0)
+        sd[sd == 0] = 1.0
+        self._sd = sd
+        z = (x - self._mu) / self._sd
+
+        rng = np.random.default_rng(self.seed)
+        n_in, n_out = x.shape[1], self.classes_.size
+        w1 = rng.normal(0, 1 / np.sqrt(n_in), size=(n_in, self.hidden))
+        b1 = np.zeros(self.hidden)
+        w2 = rng.normal(0, 1 / np.sqrt(self.hidden), size=(self.hidden, n_out))
+        b2 = np.zeros(n_out)
+        v = [np.zeros_like(p) for p in (w1, b1, w2, b2)]
+
+        n = z.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                xb, tb = z[batch], targets[batch]
+                # Forward.
+                h = np.tanh(xb @ w1 + b1)
+                logits = h @ w2 + b2
+                logits -= logits.max(axis=1, keepdims=True)
+                expd = np.exp(logits)
+                probs = expd / expd.sum(axis=1, keepdims=True)
+                # Backward (cross-entropy).
+                grad_logits = probs
+                grad_logits[np.arange(tb.size), tb] -= 1.0
+                grad_logits /= tb.size
+                grads = (
+                    xb.T @ ((grad_logits @ w2.T) * (1 - h**2)),
+                    ((grad_logits @ w2.T) * (1 - h**2)).sum(axis=0),
+                    h.T @ grad_logits,
+                    grad_logits.sum(axis=0),
+                )
+                params = [w1, b1, w2, b2]
+                for k, (p, g) in enumerate(zip(params, grads)):
+                    v[k] = self.momentum * v[k] - self.lr * g
+                    p += v[k]
+        self._w1, self._b1, self._w2, self._b2 = w1, b1, w2, b2
+        self._fitted = True
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities, rows aligned with :attr:`classes_`."""
+        if not self._fitted:
+            raise _MLPError("MLP is not fitted")
+        z = (np.atleast_2d(np.asarray(x, dtype=float)) - self._mu) / self._sd
+        h = np.tanh(z @ self._w1 + self._b1)
+        logits = h @ self._w2 + self._b2
+        logits -= logits.max(axis=1, keepdims=True)
+        expd = np.exp(logits)
+        return expd / expd.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        probs = self.predict_proba(x)  # raises cleanly when unfitted
+        return self.classes_[np.argmax(probs, axis=1)]

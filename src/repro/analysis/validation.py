@@ -1,0 +1,129 @@
+"""Model validation utilities: standardization, k-fold CV, metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import AIMSError
+
+__all__ = [
+    "Standardizer",
+    "accuracy",
+    "confusion",
+    "kfold_indices",
+    "cross_validate",
+]
+
+
+class _ValidationError(AIMSError):
+    """Validation-utility misuse."""
+
+
+@dataclass
+class Standardizer:
+    """Zero-mean / unit-variance feature scaling fitted on training data."""
+
+    mean: np.ndarray | None = None
+    scale: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "Standardizer":
+        """Learn per-feature mean and scale from training data."""
+        x = np.asarray(x, dtype=float)
+        self.mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0] = 1.0
+        self.scale = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.mean is None or self.scale is None:
+            raise _ValidationError("standardizer is not fitted")
+        return (np.asarray(x, dtype=float) - self.mean) / self.scale
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of matching labels."""
+    t = np.asarray(y_true).ravel()
+    p = np.asarray(y_pred).ravel()
+    if t.shape != p.shape or t.size == 0:
+        raise _ValidationError(f"bad label shapes: {t.shape} vs {p.shape}")
+    return float(np.mean(t == p))
+
+
+def confusion(y_true: np.ndarray, y_pred: np.ndarray) -> dict[str, int]:
+    """Binary confusion counts for ±1 labels."""
+    t = np.asarray(y_true).ravel()
+    p = np.asarray(y_pred).ravel()
+    if t.shape != p.shape:
+        raise _ValidationError(f"bad label shapes: {t.shape} vs {p.shape}")
+    return {
+        "tp": int(np.sum((t == 1) & (p == 1))),
+        "tn": int(np.sum((t == -1) & (p == -1))),
+        "fp": int(np.sum((t == -1) & (p == 1))),
+        "fn": int(np.sum((t == 1) & (p == -1))),
+    }
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold train/test index splits."""
+    if not 2 <= k <= n:
+        raise _ValidationError(f"k={k} invalid for n={n}")
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, k)
+    splits = []
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        splits.append((train, test))
+    return splits
+
+
+def cross_validate(
+    model_factory,
+    x: np.ndarray,
+    y: np.ndarray,
+    k: int = 5,
+    seed: int = 0,
+    standardize: bool = True,
+) -> dict[str, float]:
+    """K-fold cross-validated accuracy of a classifier.
+
+    Args:
+        model_factory: Zero-argument callable returning an unfitted model
+            with ``fit(x, y)`` and ``predict(x)``.
+        x: Feature matrix.
+        y: ±1 labels.
+        k: Fold count.
+        seed: Shuffling seed.
+        standardize: Fit a :class:`Standardizer` on each training fold.
+
+    Returns:
+        ``{"mean_accuracy": .., "std_accuracy": .., "folds": k}``.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape[0] != y.size:
+        raise _ValidationError(
+            f"feature/label mismatch: {x.shape[0]} vs {y.size}"
+        )
+    rng = np.random.default_rng(seed)
+    scores = []
+    for train, test in kfold_indices(x.shape[0], k, rng):
+        x_train, x_test = x[train], x[test]
+        if standardize:
+            scaler = Standardizer().fit(x_train)
+            x_train = scaler.transform(x_train)
+            x_test = scaler.transform(x_test)
+        model = model_factory()
+        model.fit(x_train, y[train])
+        scores.append(accuracy(y[test], model.predict(x_test)))
+    return {
+        "mean_accuracy": float(np.mean(scores)),
+        "std_accuracy": float(np.std(scores)),
+        "folds": float(k),
+    }

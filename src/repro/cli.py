@@ -1,0 +1,211 @@
+"""Command-line front end for the AIMS reproduction.
+
+Usage::
+
+    python -m repro.cli glove --duration 10          # simulate + sample
+    python -m repro.cli adhd --subjects 20           # run the §2.1 study
+    python -m repro.cli asl --signs GREEN RED HELLO  # stream recognition
+    python -m repro.cli olap                         # Fig. 4 pivot demo
+    python -m repro.cli info                         # system inventory
+
+Each subcommand is a thin wrapper over the public API, so the CLI doubles
+as executable documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.sensors.model import CYBERGLOVE_SENSORS, HAND_RIG_SENSORS
+
+    print(f"repro {repro.__version__} — AIMS (CIDR 2003) reproduction")
+    print(f"subsystems: acquisition, storage, off-line query (ProPolyne), "
+          f"online query (weighted SVD)")
+    print(f"hand rig: {len(HAND_RIG_SENSORS)} sensors "
+          f"({len(CYBERGLOVE_SENSORS)} CyberGlove + 6 Polhemus)")
+    print("see DESIGN.md for the full inventory, EXPERIMENTS.md for the "
+          "paper-vs-measured comparison")
+    return 0
+
+
+def _cmd_glove(args: argparse.Namespace) -> int:
+    from repro import AIMS, AIMSConfig
+    from repro.sensors.glove import CyberGloveSimulator
+
+    rng = np.random.default_rng(args.seed)
+    system = AIMS(AIMSConfig(sampler=args.sampler))
+    sim = CyberGloveSimulator()
+    session = sim.capture(args.duration, rng)
+    report = system.acquire(session, sim.rate_hz)
+    raw = session.size * 4
+    print(f"session: {session.shape[0]} frames x {session.shape[1]} sensors")
+    print(f"strategy {args.sampler!r}: {report.bytes_recorded} bytes "
+          f"({report.bytes_recorded / raw:.1%} of raw), "
+          f"NRMSE {report.nrmse:.4f}")
+    return 0
+
+
+def _cmd_adhd(args: argparse.Namespace) -> int:
+    from repro.analysis.features import cohort_features
+    from repro.analysis.svm import SVM
+    from repro.analysis.validation import cross_validate
+    from repro.sensors.classroom import generate_cohort
+
+    rng = np.random.default_rng(args.seed)
+    cohort = generate_cohort(args.subjects, rng, duration=args.duration)
+    x, y = cohort_features(cohort)
+    result = cross_validate(lambda: SVM(c=1.0), x, y, k=min(5, args.subjects))
+    print(f"{2 * args.subjects} subjects, {args.duration:.0f}s sessions")
+    print(f"SVM on tracker motion speed: "
+          f"{result['mean_accuracy']:.1%} +/- {result['std_accuracy']:.1%} "
+          f"({int(result['folds'])}-fold CV)   [paper: ~86%]")
+    return 0
+
+
+def _cmd_asl(args: argparse.Namespace) -> int:
+    from repro import AIMS
+    from repro.online.recognizer import RecognizerConfig
+    from repro.sensors.asl import (
+        ASL_VOCABULARY,
+        synthesize_session,
+        synthesize_sign,
+    )
+
+    by_name = {s.name: s for s in ASL_VOCABULARY}
+    unknown = [n for n in args.signs if n not in by_name]
+    if unknown:
+        print(f"unknown signs {unknown}; available: {sorted(by_name)}",
+              file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    specs = [by_name[n] for n in args.signs]
+    system = AIMS()
+    system.train_vocabulary(
+        {s.name: [synthesize_sign(s, rng).frames for _ in range(4)]
+         for s in specs}
+    )
+    frames, segments = synthesize_session(specs, rng, gap_duration=0.8)
+    recognizer = system.recognizer(
+        rest_frames=frames[: segments[0].start],
+        config=RecognizerConfig(window=50, compare_every=10,
+                                declare_threshold=0.4, decline_steps=3),
+    )
+    detections = recognizer.process(frames)
+    print(f"truth   : {[s.name for s in segments]}")
+    print(f"detected: {[d.name for d in detections]}")
+    return 0
+
+
+def _cmd_olap(args: argparse.Namespace) -> int:
+    from repro import AIMS
+    from repro.query.rangesum import RangeSumQuery, relation_to_cube
+    from repro.sensors.atmosphere import atmospheric_cube
+
+    rng = np.random.default_rng(args.seed)
+    field = atmospheric_cube((32, 32), rng)
+    t_lo, t_hi = field.min(), field.max()
+    bins = np.clip(np.round((field - t_lo) / (t_hi - t_lo) * 31), 0, 31).astype(int)
+    lat, lon = np.meshgrid(np.arange(32), np.arange(32), indexing="ij")
+    cube = relation_to_cube(
+        np.column_stack([lat.ravel(), lon.ravel(), bins.ravel()]),
+        (32, 32, 32),
+    )
+    system = AIMS()
+    engine = system.populate("atm", cube)
+    query = RangeSumQuery.count([(8, 23), (4, 27), (12, 31)])
+    exact = engine.evaluate_exact(query)
+    print(f"progressive COUNT over a temperate region (exact {exact:.0f}):")
+    for est in engine.evaluate_progressive(query):
+        if est.blocks_read in (1, 2, 4, 8, 16, 32):
+            print(f"  {est.blocks_read:3d} blocks: {est.estimate:9.1f} "
+                  f"+/- {est.error_bound:8.1f}")
+        if est.error_bound < 0.01 * max(abs(exact), 1.0):
+            print(f"  1%-guarantee reached after {est.blocks_read} blocks")
+            break
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Aggregate the benchmark result tables into one report."""
+    from pathlib import Path
+
+    results = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    if not results.is_dir():
+        results = Path.cwd() / "benchmarks" / "results"
+    if not results.is_dir():
+        print("no benchmarks/results directory; run "
+              "`pytest benchmarks/ --benchmark-only` first", file=sys.stderr)
+        return 1
+    files = sorted(results.glob("*.txt"))
+    if not files:
+        print("benchmarks/results is empty; run the benchmarks first",
+              file=sys.stderr)
+        return 1
+    for path in files:
+        print(f"==== {path.stem} ====")
+        print(path.read_text().rstrip())
+        print()
+    print(f"({len(files)} experiment tables; see EXPERIMENTS.md for the "
+          f"paper-vs-measured comparison)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AIMS: An Immersidata Management System — reproduction CLI",
+    )
+    parser.add_argument("--seed", type=int, default=2003,
+                        help="random seed (default 2003)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show the system inventory")
+
+    glove = sub.add_parser("glove", help="simulate and sample a glove session")
+    glove.add_argument("--duration", type=float, default=10.0)
+    glove.add_argument(
+        "--sampler", default="adaptive",
+        choices=("fixed", "modified_fixed", "grouped", "adaptive"),
+    )
+
+    adhd = sub.add_parser("adhd", help="run the ADHD SVM study")
+    adhd.add_argument("--subjects", type=int, default=20,
+                      help="subjects per group")
+    adhd.add_argument("--duration", type=float, default=30.0)
+
+    asl = sub.add_parser("asl", help="recognize a synthesized sign stream")
+    asl.add_argument("--signs", nargs="+",
+                     default=["GREEN", "RED", "HELLO"])
+
+    sub.add_parser("olap", help="progressive OLAP demo on atmospheric data")
+    sub.add_parser("report", help="print all benchmark result tables")
+    return parser
+
+
+_HANDLERS = {
+    "info": _cmd_info,
+    "glove": _cmd_glove,
+    "adhd": _cmd_adhd,
+    "asl": _cmd_asl,
+    "olap": _cmd_olap,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Core layer: AIMS facade, immersidata schema, exception hierarchy."""
+
+from repro.core.aims import AIMS, AIMSConfig, AcquisitionReport
+from repro.core.errors import (
+    AIMSError,
+    AcquisitionError,
+    QueryError,
+    RecognitionError,
+    SchemaError,
+    StorageError,
+    StreamError,
+    TransformError,
+)
+from repro.core.record import (
+    RECORD_FIELDS,
+    ImmersidataRecord,
+    records_to_relation,
+)
+
+__all__ = [
+    "AIMS",
+    "AIMSConfig",
+    "AcquisitionReport",
+    "ImmersidataRecord",
+    "RECORD_FIELDS",
+    "records_to_relation",
+    "AIMSError",
+    "SchemaError",
+    "TransformError",
+    "StreamError",
+    "AcquisitionError",
+    "StorageError",
+    "QueryError",
+    "RecognitionError",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the AIMS reproduction.
+
+Every error raised by ``repro`` derives from :class:`AIMSError` so callers
+can catch library failures with a single ``except`` clause while still
+being able to distinguish subsystem-specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class AIMSError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(AIMSError):
+    """An immersidata record or relation violates its declared schema."""
+
+
+class TransformError(AIMSError):
+    """A wavelet/packet transform was asked to do something impossible.
+
+    Examples: transforming a signal whose length is not a power of two in a
+    context that requires it, or requesting more cascade levels than the
+    signal supports.
+    """
+
+
+class StreamError(AIMSError):
+    """A continuous-data-stream operation failed (exhausted source, bad
+    window configuration, mismatched sensor counts, ...)."""
+
+
+class AcquisitionError(AIMSError):
+    """Sampling-rate estimation or signal acquisition failed."""
+
+
+class StorageError(AIMSError):
+    """The simulated disk, allocation layer or BLOB store was misused."""
+
+
+class QueryError(AIMSError):
+    """A range-sum / ProPolyne query is malformed or unanswerable."""
+
+
+class RecognitionError(AIMSError):
+    """Online pattern recognition failed (empty vocabulary, bad window)."""

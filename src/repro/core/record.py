@@ -1,0 +1,115 @@
+"""The immersidata record schema (§2.1).
+
+"Each tracker data consists of 6 dimensions: X, Y and Z values
+corresponding to tracker position in the space and H, P and R parameters
+representing tracker rotation ...  Therefore, the data set in general has
+8 dimensions: in addition to the above mentioned 6 values, there are the
+time-stamp and sensor-id attributes."
+
+:class:`ImmersidataRecord` is that 8-dimensional tuple;
+:func:`records_to_relation` quantizes a batch of records into the integer
+relation ProPolyne's frequency-cube model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import SchemaError
+
+__all__ = ["ImmersidataRecord", "RECORD_FIELDS", "records_to_relation"]
+
+RECORD_FIELDS = ("sensor_id", "timestamp", "x", "y", "z", "h", "p", "r")
+
+
+@dataclass(frozen=True, slots=True)
+class ImmersidataRecord:
+    """One 8-dimensional tracker reading."""
+
+    sensor_id: int
+    timestamp: float
+    x: float
+    y: float
+    z: float
+    h: float
+    p: float
+    r: float
+
+    def __post_init__(self) -> None:
+        if self.sensor_id < 0:
+            raise SchemaError(f"negative sensor_id {self.sensor_id}")
+        if self.timestamp < 0:
+            raise SchemaError(f"negative timestamp {self.timestamp}")
+        for angle_name in ("h", "p", "r"):
+            angle = getattr(self, angle_name)
+            if not -360.0 <= angle <= 360.0:
+                raise SchemaError(
+                    f"rotation {angle_name}={angle} outside [-360, 360]"
+                )
+
+    def as_tuple(self) -> tuple[float, ...]:
+        """Values in :data:`RECORD_FIELDS` order."""
+        return (
+            float(self.sensor_id), self.timestamp,
+            self.x, self.y, self.z, self.h, self.p, self.r,
+        )
+
+
+def records_to_relation(
+    records: list[ImmersidataRecord],
+    fields: tuple[str, ...],
+    bins: dict[str, int],
+) -> tuple[np.ndarray, tuple[int, ...], dict[str, tuple[float, float]]]:
+    """Quantize records into an integer relation over chosen fields.
+
+    Args:
+        records: The batch to convert.
+        fields: Which record fields become relation attributes, in order.
+        bins: Per-field bin count.  ``sensor_id`` keeps its integer values
+            and its bin count must cover the largest id present.
+
+    Returns:
+        ``(relation, shape, scales)``: the ``(n, len(fields))`` integer
+        relation, the per-attribute domain sizes, and per-field
+        ``(offset, step)`` so attribute index ``k`` decodes to
+        ``offset + k * step``.
+    """
+    if not records:
+        raise SchemaError("no records to convert")
+    unknown = [f for f in fields if f not in RECORD_FIELDS]
+    if unknown:
+        raise SchemaError(f"unknown record fields: {unknown}")
+    missing = [f for f in fields if f not in bins]
+    if missing:
+        raise SchemaError(f"bin counts missing for fields: {missing}")
+
+    matrix = np.array([r.as_tuple() for r in records])
+    columns = []
+    scales: dict[str, tuple[float, float]] = {}
+    shape = []
+    for field_name in fields:
+        col = matrix[:, RECORD_FIELDS.index(field_name)]
+        n_bins = bins[field_name]
+        if n_bins < 2:
+            raise SchemaError(
+                f"field {field_name!r}: need >= 2 bins, got {n_bins}"
+            )
+        if field_name == "sensor_id":
+            ids = col.astype(int)
+            if ids.max() >= n_bins:
+                raise SchemaError(
+                    f"sensor_id {ids.max()} exceeds bin count {n_bins}"
+                )
+            columns.append(ids)
+            scales[field_name] = (0.0, 1.0)
+        else:
+            lo, hi = float(col.min()), float(col.max())
+            step = (hi - lo) / (n_bins - 1) if hi > lo else 1.0
+            columns.append(
+                np.clip(np.round((col - lo) / step), 0, n_bins - 1).astype(int)
+            )
+            scales[field_name] = (lo, step)
+        shape.append(n_bins)
+    return np.column_stack(columns), tuple(shape), scales

@@ -1,0 +1,56 @@
+"""Online query & analysis subsystem: weighted-SVD pattern recognition and
+isolation over continuous sensor streams (§3.4 of the paper)."""
+
+from repro.online.incsvd import IncrementalMotionSpectrum
+from repro.online.isolation import Detection, EvidenceAccumulator
+from repro.online.segmenter import Burst, BurstSegmenter, segment_bursts
+from repro.online.recognizer import (
+    RecognizerConfig,
+    StreamRecognizer,
+    classify_instance,
+)
+from repro.online.similarity import (
+    SIMILARITY_MEASURES,
+    dft_similarity,
+    dft2_similarity,
+    dtw_similarity,
+    dwt2_similarity,
+    dwt_similarity,
+    euclidean_similarity,
+    motion_spectrum,
+    weighted_svd_similarity,
+)
+from repro.online.svd_propolyne import (
+    covariance_matrix_via_propolyne,
+    covariance_pair_via_propolyne,
+    quantize_channels,
+    spectrum_via_propolyne,
+)
+from repro.online.vocabulary import MotionVocabulary, VocabularyEntry
+
+__all__ = [
+    "motion_spectrum",
+    "weighted_svd_similarity",
+    "euclidean_similarity",
+    "dft_similarity",
+    "dwt_similarity",
+    "dtw_similarity",
+    "dft2_similarity",
+    "dwt2_similarity",
+    "SIMILARITY_MEASURES",
+    "IncrementalMotionSpectrum",
+    "Detection",
+    "EvidenceAccumulator",
+    "MotionVocabulary",
+    "VocabularyEntry",
+    "StreamRecognizer",
+    "Burst",
+    "BurstSegmenter",
+    "segment_bursts",
+    "RecognizerConfig",
+    "classify_instance",
+    "quantize_channels",
+    "covariance_pair_via_propolyne",
+    "covariance_matrix_via_propolyne",
+    "spectrum_via_propolyne",
+]

@@ -1,0 +1,94 @@
+"""Incremental SVD over a growing stream (§3.4.1).
+
+"We would like to explore techniques for computing SVD incrementally,
+i.e., computation of SVD utilizing results that have already been computed
+in the earlier steps thus reducing the overall computation cost
+considerably."
+
+Because the weighted-SVD similarity only consumes the eigenstructure of
+the sensor-space covariance, incrementality reduces to maintaining the
+covariance's sufficient statistics under appends (and window evictions):
+count, mean and the centred second-moment matrix, updated in O(d^2) per
+frame via Welford/Youngs-Cramer updates.  The eigen-decomposition is then
+computed on demand from the maintained matrix — no O(T d^2) re-scan of the
+stream, which is the saving experiment E9's companion micro-bench shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import RecognitionError
+
+__all__ = ["IncrementalMotionSpectrum"]
+
+
+class IncrementalMotionSpectrum:
+    """Streaming sensor-space covariance with on-demand eigenstructure.
+
+    Supports append (``add``) and — for sliding windows — eviction
+    (``remove``) of frames, both O(d^2).
+    """
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise RecognitionError(f"width must be >= 1, got {width}")
+        self.width = width
+        self._n = 0
+        self._mean = np.zeros(width)
+        self._m2 = np.zeros((width, width))  # sum of centred outer products
+
+    def __len__(self) -> int:
+        return self._n
+
+    def add(self, frame: np.ndarray) -> None:
+        """Append one frame (O(d^2))."""
+        x = np.asarray(frame, dtype=float)
+        if x.shape != (self.width,):
+            raise RecognitionError(
+                f"frame shape {x.shape} != ({self.width},)"
+            )
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        delta2 = x - self._mean
+        self._m2 += np.outer(delta, delta2)
+
+    def remove(self, frame: np.ndarray) -> None:
+        """Evict a frame previously added (sliding-window maintenance)."""
+        x = np.asarray(frame, dtype=float)
+        if x.shape != (self.width,):
+            raise RecognitionError(
+                f"frame shape {x.shape} != ({self.width},)"
+            )
+        if self._n <= 1:
+            self.reset()
+            return
+        delta2 = x - self._mean  # mean still includes x
+        self._n -= 1
+        self._mean -= (x - self._mean) / self._n
+        delta = x - self._mean  # mean after removal
+        self._m2 -= np.outer(delta, delta2)
+
+    def reset(self) -> None:
+        """Forget everything."""
+        self._n = 0
+        self._mean[:] = 0.0
+        self._m2[:] = 0.0
+
+    def covariance(self) -> np.ndarray:
+        """Current population covariance matrix."""
+        if self._n < 1:
+            raise RecognitionError("no frames accumulated")
+        return self._m2 / self._n
+
+    def spectrum(self) -> tuple[np.ndarray, np.ndarray]:
+        """Eigenvalues/eigenvectors (decreasing) of the current covariance."""
+        values, vectors = np.linalg.eigh(self.covariance())
+        order = np.argsort(values)[::-1]
+        return values[order], vectors[:, order]
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Current running mean (copy)."""
+        return self._mean.copy()

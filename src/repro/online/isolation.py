@@ -1,0 +1,149 @@
+"""Real-time pattern isolation over continuous sensor streams (§3.4).
+
+The chicken-and-egg problem the paper poses: to isolate a pattern you must
+recognize it, but to recognize it you must first isolate it.  Its
+resolution: "we periodically compared sensor streams with each member of
+the vocabulary ... maintained the accumulated similarity values ... [and
+developed] a heuristic which in real-time investigates the accumulated
+values and simultaneously recognizes and isolates the input patterns.  The
+intuition comes from information theory where the continuously arriving
+data forms a process of accumulation in information about the pattern
+sequence currently present in the stream [and] carries negative
+information about all the other absent patterns."
+
+:class:`EvidenceAccumulator` implements exactly that bookkeeping: every
+periodic comparison adds each sign's similarity *relative to the running
+mean over signs* to its evidence — present patterns accumulate positive
+evidence, absent ones negative (the log-likelihood-ratio flavour of a
+CUSUM detector).  A pattern is declared when the leader's evidence climbs
+past a threshold and then stops growing (the stream has moved on), at
+which point all evidence is reset and isolation restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import RecognitionError
+
+__all__ = ["Detection", "EvidenceAccumulator"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One isolated-and-recognized pattern occurrence."""
+
+    name: str
+    start: int  # frame index where evidence began accumulating
+    end: int  # frame index where the pattern was declared over
+    evidence: float  # accumulated evidence at declaration
+
+
+class EvidenceAccumulator:
+    """CUSUM-style accumulation of per-sign similarity evidence."""
+
+    def __init__(
+        self,
+        names: list[str],
+        declare_threshold: float = 1.0,
+        decline_steps: int = 3,
+    ) -> None:
+        if not names:
+            raise RecognitionError("accumulator needs at least one name")
+        if declare_threshold <= 0:
+            raise RecognitionError("declare threshold must be positive")
+        if decline_steps < 1:
+            raise RecognitionError("decline_steps must be >= 1")
+        self.names = list(names)
+        self.declare_threshold = declare_threshold
+        self.decline_steps = decline_steps
+        self._evidence = {n: 0.0 for n in names}
+        self._peak = 0.0
+        self._peak_name: str | None = None
+        self._since_peak = 0
+        self._start_frame: int | None = None
+
+    def reset(self) -> None:
+        """Forget all evidence (called after each declaration)."""
+        self._evidence = {n: 0.0 for n in self.names}
+        self._peak = 0.0
+        self._peak_name = None
+        self._since_peak = 0
+        self._start_frame = None
+
+    @property
+    def evidence(self) -> dict[str, float]:
+        """Current per-sign evidence (copy)."""
+        return dict(self._evidence)
+
+    def flush(self, frame_index: int) -> Detection | None:
+        """Close out the current burst (called when the stream goes quiet).
+
+        Declares the evidence leader if it ever cleared the threshold,
+        then resets — the burst is over regardless.
+        """
+        detection = None
+        if self._peak >= self.declare_threshold and self._peak_name is not None:
+            detection = Detection(
+                name=self._peak_name,
+                start=int(self._start_frame or 0),
+                end=frame_index,
+                evidence=self._peak,
+            )
+        self.reset()
+        return detection
+
+    def observe(
+        self, similarities: dict[str, float], frame_index: int
+    ) -> Detection | None:
+        """Feed one periodic comparison; maybe declare a detection.
+
+        Args:
+            similarities: Sign name -> similarity of the current window.
+            frame_index: Stream position of the comparison.
+
+        Returns:
+            A :class:`Detection` when the isolation heuristic fires,
+            otherwise ``None``.
+        """
+        missing = [n for n in self.names if n not in similarities]
+        if missing:
+            raise RecognitionError(f"similarities missing for {missing}")
+        values = np.array([similarities[n] for n in self.names])
+        baseline = float(values.mean())
+        # Positive information for above-average signs, negative for the
+        # rest; evidence clipped at zero so absent signs cannot go into
+        # unbounded debt and mask a later occurrence.
+        for name, value in zip(self.names, values):
+            self._evidence[name] = max(
+                0.0, self._evidence[name] + (float(value) - baseline)
+            )
+        if self._start_frame is None:
+            self._start_frame = frame_index
+
+        leader = max(self._evidence, key=self._evidence.get)
+        leader_evidence = self._evidence[leader]
+        if leader_evidence > self._peak + 1e-12:
+            self._peak = leader_evidence
+            self._peak_name = leader
+            self._since_peak = 0
+            return None
+        self._since_peak += 1
+        # Declaration: evidence cleared the threshold, then stopped
+        # growing for `decline_steps` comparisons -> the sign has ended.
+        if (
+            self._peak >= self.declare_threshold
+            and self._since_peak >= self.decline_steps
+            and self._peak_name is not None
+        ):
+            detection = Detection(
+                name=self._peak_name,
+                start=int(self._start_frame or 0),
+                end=frame_index,
+                evidence=self._peak,
+            )
+            self.reset()
+            return detection
+        return None

@@ -1,0 +1,126 @@
+"""Activity-based burst segmentation of motion streams.
+
+A standalone version of the activity gate inside
+:class:`~repro.online.recognizer.StreamRecognizer`: split a frame stream
+into *bursts* (contiguous stretches of above-rest motion) separated by
+rest.  Useful on its own for offline labelling, for scoring isolation
+quality against ground truth, and as the front half of any
+isolate-then-classify pipeline (the chicken-and-egg decomposition of
+§3.4 made explicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import RecognitionError
+
+__all__ = ["Burst", "BurstSegmenter", "segment_bursts"]
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One contiguous above-rest stretch of a stream."""
+
+    start: int  # inclusive frame index
+    end: int  # exclusive frame index
+
+    @property
+    def length(self) -> int:
+        """Burst length in frames."""
+        return self.end - self.start
+
+    def overlaps(self, other_start: int, other_end: int) -> bool:
+        """Interval overlap test against ``[other_start, other_end)``."""
+        return self.start < other_end and other_start < self.end
+
+
+class BurstSegmenter:
+    """Causal burst detector over per-frame activity.
+
+    Activity of a frame is its squared distance from the rest posture;
+    a burst opens when a smoothed activity crosses ``threshold`` times the
+    calibrated rest level and closes when it falls back for ``cooldown``
+    consecutive frames.
+    """
+
+    def __init__(
+        self,
+        rest_mean: np.ndarray,
+        rest_energy: float,
+        threshold: float = 3.0,
+        smoothing: int = 10,
+        cooldown: int = 15,
+        min_length: int = 10,
+    ) -> None:
+        if rest_energy <= 0:
+            raise RecognitionError("rest energy must be positive")
+        if threshold <= 1.0:
+            raise RecognitionError("threshold must exceed 1.0")
+        if smoothing < 1 or cooldown < 1 or min_length < 1:
+            raise RecognitionError(
+                "smoothing, cooldown and min_length must be >= 1"
+            )
+        self.rest_mean = np.asarray(rest_mean, dtype=float)
+        self.rest_energy = float(rest_energy)
+        self.threshold = threshold
+        self.smoothing = smoothing
+        self.cooldown = cooldown
+        self.min_length = min_length
+
+    @classmethod
+    def calibrate(cls, rest_frames: np.ndarray, **kwargs) -> "BurstSegmenter":
+        """Build a segmenter from a rest recording."""
+        arr = np.asarray(rest_frames, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] < 2:
+            raise RecognitionError(
+                f"rest calibration needs (time >= 2, sensors), got {arr.shape}"
+            )
+        mean = arr.mean(axis=0)
+        energy = float(np.mean(np.sum((arr - mean) ** 2, axis=1)))
+        return cls(rest_mean=mean, rest_energy=max(energy, 1e-9), **kwargs)
+
+    def segment(self, frames: np.ndarray) -> list[Burst]:
+        """Split a ``(time, sensors)`` stream into bursts."""
+        arr = np.asarray(frames, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != self.rest_mean.size:
+            raise RecognitionError(
+                f"stream shape {arr.shape} incompatible with rest posture "
+                f"of width {self.rest_mean.size}"
+            )
+        activity = np.sum((arr - self.rest_mean[None, :]) ** 2, axis=1)
+        kernel = np.ones(self.smoothing) / self.smoothing
+        smoothed = np.convolve(activity, kernel, mode="same")
+        hot = smoothed > self.threshold * self.rest_energy
+
+        bursts: list[Burst] = []
+        start = None
+        last_hot = -1
+        quiet = 0
+        for i, flag in enumerate(hot):
+            if flag:
+                if start is None:
+                    start = i
+                last_hot = i
+                quiet = 0
+            elif start is not None:
+                quiet += 1
+                if quiet >= self.cooldown:
+                    end = last_hot + 1
+                    if end - start >= self.min_length:
+                        bursts.append(Burst(start=start, end=end))
+                    start = None
+                    quiet = 0
+        if start is not None and last_hot + 1 - start >= self.min_length:
+            bursts.append(Burst(start=start, end=last_hot + 1))
+        return bursts
+
+
+def segment_bursts(
+    frames: np.ndarray, rest_frames: np.ndarray, **kwargs
+) -> list[Burst]:
+    """One-call convenience: calibrate on ``rest_frames``, segment
+    ``frames``."""
+    return BurstSegmenter.calibrate(rest_frames, **kwargs).segment(frames)

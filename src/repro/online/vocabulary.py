@@ -1,0 +1,139 @@
+"""Motion vocabularies — the library of known patterns (§3.4).
+
+The online recognizer matches incoming immersidata against "a known
+library of motions, termed vocabulary".  A vocabulary entry distills the
+training instances of one sign into the statistics the weighted-SVD
+measure consumes: the averaged sensor-space covariance (and its
+eigenstructure), which is robust to the per-instance time warps and
+amplitude jitter the synthesizer (and real signers) produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import RecognitionError
+
+__all__ = ["VocabularyEntry", "MotionVocabulary"]
+
+
+@dataclass(frozen=True)
+class VocabularyEntry:
+    """One known motion.
+
+    Attributes:
+        name: Sign/motion name.
+        eigenvalues: Decreasing eigenvalues of the averaged covariance.
+        eigenvectors: Matching eigenvectors (columns).
+        mean_duration: Average training-instance length in frames, used by
+            the isolator to size its analysis window.
+    """
+
+    name: str
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    mean_duration: float
+
+    @property
+    def width(self) -> int:
+        """Sensor count of the entry's eigenvectors."""
+        return self.eigenvectors.shape[0]
+
+
+def _covariance(matrix: np.ndarray) -> np.ndarray:
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] < 2:
+        raise RecognitionError(
+            f"training instance must be (time >= 2, sensors), got {arr.shape}"
+        )
+    centred = arr - arr.mean(axis=0, keepdims=True)
+    return centred.T @ centred / arr.shape[0]
+
+
+class MotionVocabulary:
+    """A set of named motions the recognizer can label windows with."""
+
+    def __init__(self, entries: list[VocabularyEntry]) -> None:
+        if not entries:
+            raise RecognitionError("vocabulary must contain at least one entry")
+        widths = {e.width for e in entries}
+        if len(widths) != 1:
+            raise RecognitionError(
+                f"vocabulary entries disagree on sensor count: {widths}"
+            )
+        names = [e.name for e in entries]
+        if len(set(names)) != len(names):
+            raise RecognitionError("duplicate names in vocabulary")
+        self.entries = list(entries)
+        self.width = widths.pop()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def names(self) -> list[str]:
+        """All sign names, in entry order."""
+        return [e.name for e in self.entries]
+
+    def entry(self, name: str) -> VocabularyEntry:
+        """Look up one entry by sign name."""
+        for e in self.entries:
+            if e.name == name:
+                return e
+        raise RecognitionError(f"no vocabulary entry named {name!r}")
+
+    @classmethod
+    def from_instances(
+        cls, training: dict[str, list[np.ndarray]]
+    ) -> "MotionVocabulary":
+        """Build a vocabulary from labelled training instances.
+
+        Args:
+            training: name -> list of ``(time, sensors)`` instances.
+        """
+        entries = []
+        for name, instances in training.items():
+            if not instances:
+                raise RecognitionError(f"sign {name!r} has no instances")
+            covs = [_covariance(m) for m in instances]
+            widths = {c.shape[0] for c in covs}
+            if len(widths) != 1:
+                raise RecognitionError(
+                    f"sign {name!r}: inconsistent sensor counts {widths}"
+                )
+            avg_cov = np.mean(covs, axis=0)
+            values, vectors = np.linalg.eigh(avg_cov)
+            order = np.argsort(values)[::-1]
+            durations = [np.asarray(m).shape[0] for m in instances]
+            entries.append(
+                VocabularyEntry(
+                    name=name,
+                    eigenvalues=values[order],
+                    eigenvectors=vectors[:, order],
+                    mean_duration=float(np.mean(durations)),
+                )
+            )
+        return cls(entries)
+
+    def similarity(
+        self, eigenvalues: np.ndarray, eigenvectors: np.ndarray,
+        entry: VocabularyEntry, n_components: int | None = None,
+    ) -> float:
+        """Weighted-SVD similarity between a window's eigenstructure and a
+        vocabulary entry (shared weighting with
+        :func:`repro.online.similarity.weighted_svd_similarity`)."""
+        d = self.width
+        k = d if n_components is None else min(n_components, d)
+        weights = np.abs(eigenvalues[:k]) + np.abs(entry.eigenvalues[:k])
+        total = weights.sum()
+        if total == 0:
+            return 1.0
+        weights = weights / total
+        agreement = np.abs(
+            np.sum(eigenvectors[:, :k] * entry.eigenvectors[:, :k], axis=0)
+        )
+        return float(np.dot(weights, agreement))

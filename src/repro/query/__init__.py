@@ -1,0 +1,45 @@
+"""Off-line query subsystem: ProPolyne and friends (§3.3 of the paper)."""
+
+from repro.query.aggregates import ProgressiveAggregate, StatisticalAggregates
+from repro.query.batch import BatchEstimate, BatchEvaluator, GroupByResult, group_by
+from repro.query.dataapprox import DataApproxEngine
+from repro.query.explain import QueryPlan, explain, format_plan
+from repro.query.hybrid import HybridCost, HybridEngine
+from repro.query.packet_engine import PacketBasisEngine, cover_transform
+from repro.query.randproj import RandomProjectionEngine
+from repro.query.workload import drilldown_ranges, grid_group_by, random_ranges
+from repro.query.propolyne import (
+    ProgressiveEstimate,
+    ProPolyneEngine,
+    pad_to_pow2,
+    translate_query,
+)
+from repro.query.rangesum import RangeSumQuery, evaluate_on_cube, relation_to_cube
+
+__all__ = [
+    "RangeSumQuery",
+    "evaluate_on_cube",
+    "relation_to_cube",
+    "ProPolyneEngine",
+    "ProgressiveEstimate",
+    "pad_to_pow2",
+    "translate_query",
+    "DataApproxEngine",
+    "BatchEvaluator",
+    "BatchEstimate",
+    "GroupByResult",
+    "group_by",
+    "StatisticalAggregates",
+    "ProgressiveAggregate",
+    "HybridEngine",
+    "QueryPlan",
+    "explain",
+    "format_plan",
+    "HybridCost",
+    "PacketBasisEngine",
+    "RandomProjectionEngine",
+    "random_ranges",
+    "drilldown_ranges",
+    "grid_group_by",
+    "cover_transform",
+]

@@ -1,0 +1,146 @@
+"""Statistical aggregates on top of polynomial range-sums.
+
+The paper's promise (§3.3): ProPolyne supports "not only COUNT, SUM and
+AVERAGE, but also VARIANCE, COVARIANCE and more", because every
+second-order statistic decomposes into polynomial range-sums (Shao's
+observation, §3.4.1).  The decompositions used here::
+
+    COUNT(R)        = Q(R, 1)
+    SUM_d(R)        = Q(R, x_d)
+    AVERAGE_d(R)    = SUM_d / COUNT
+    VARIANCE_d(R)   = Q(R, x_d^2)/COUNT - AVERAGE_d^2
+    COVARIANCE(R)   = Q(R, x_i * x_j)/COUNT - AVERAGE_i * AVERAGE_j
+
+Each aggregate issues its component sums through the shared-I/O batch
+evaluator, so the blocks common to (say) COUNT and SUM are read once —
+exactly the "share I/O maximally" behaviour of §3.3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import QueryError
+from repro.query.batch import BatchEvaluator
+from repro.query.propolyne import ProPolyneEngine
+from repro.query.rangesum import RangeSumQuery
+
+__all__ = ["ProgressiveAggregate", "StatisticalAggregates"]
+
+
+@dataclass(frozen=True)
+class ProgressiveAggregate:
+    """Progressive state of a derived aggregate.
+
+    ``error_bound`` is derived by interval arithmetic from the component
+    sums' guaranteed bounds; it is conservative and becomes infinite while
+    the COUNT interval still straddles zero.
+    """
+
+    value: float
+    error_bound: float
+    blocks_read: int
+
+
+class StatisticalAggregates:
+    """COUNT/SUM/AVERAGE/VARIANCE/COVARIANCE over a ProPolyne engine."""
+
+    def __init__(self, engine: ProPolyneEngine) -> None:
+        self._engine = engine
+        self._batch = BatchEvaluator(engine)
+
+    # -- exact --------------------------------------------------------------
+
+    def count(self, ranges: list[tuple[int, int]]) -> float:
+        """Number of tuples in the range."""
+        return self._engine.evaluate_exact(RangeSumQuery.count(ranges))
+
+    def total(self, ranges: list[tuple[int, int]], dim: int) -> float:
+        """SUM of attribute ``dim`` over the range."""
+        return self._engine.evaluate_exact(
+            RangeSumQuery.weighted(ranges, {dim: 1})
+        )
+
+    def average(self, ranges: list[tuple[int, int]], dim: int) -> float:
+        """AVERAGE of attribute ``dim`` over the range."""
+        count, total = self._batch.evaluate_exact(
+            [
+                RangeSumQuery.count(ranges),
+                RangeSumQuery.weighted(ranges, {dim: 1}),
+            ]
+        )
+        if abs(count) < 1e-12:
+            raise QueryError("AVERAGE over an empty range")
+        return total / count
+
+    def variance(self, ranges: list[tuple[int, int]], dim: int) -> float:
+        """Population VARIANCE of attribute ``dim`` over the range."""
+        count, s1, s2 = self._batch.evaluate_exact(
+            [
+                RangeSumQuery.count(ranges),
+                RangeSumQuery.weighted(ranges, {dim: 1}),
+                RangeSumQuery.weighted(ranges, {dim: 2}),
+            ]
+        )
+        if abs(count) < 1e-12:
+            raise QueryError("VARIANCE over an empty range")
+        mean = s1 / count
+        return s2 / count - mean * mean
+
+    def covariance(
+        self, ranges: list[tuple[int, int]], dim_i: int, dim_j: int
+    ) -> float:
+        """Population COVARIANCE of attributes ``dim_i`` and ``dim_j``."""
+        if dim_i == dim_j:
+            return self.variance(ranges, dim_i)
+        count, si, sj, sij = self._batch.evaluate_exact(
+            [
+                RangeSumQuery.count(ranges),
+                RangeSumQuery.weighted(ranges, {dim_i: 1}),
+                RangeSumQuery.weighted(ranges, {dim_j: 1}),
+                RangeSumQuery.weighted(ranges, {dim_i: 1, dim_j: 1}),
+            ]
+        )
+        if abs(count) < 1e-12:
+            raise QueryError("COVARIANCE over an empty range")
+        return sij / count - (si / count) * (sj / count)
+
+    # -- progressive ---------------------------------------------------------
+
+    def progressive_average(
+        self, ranges: list[tuple[int, int]], dim: int
+    ) -> Iterator[ProgressiveAggregate]:
+        """Progressive AVERAGE with interval-arithmetic error bounds.
+
+        COUNT and SUM are evaluated in lockstep over shared blocks; after
+        each block the ratio of the current estimates is reported, bounded
+        by the worst ratio of the component intervals.
+        """
+        queries = [
+            RangeSumQuery.count(ranges),
+            RangeSumQuery.weighted(ranges, {dim: 1}),
+        ]
+        for step in self._batch.evaluate_progressive(queries):
+            count_est, sum_est = step.estimates
+            count_err, sum_err = step.error_bounds
+            count_lo = count_est - count_err
+            if count_lo <= 0:
+                yield ProgressiveAggregate(
+                    value=sum_est / count_est if count_est else 0.0,
+                    error_bound=float("inf"),
+                    blocks_read=step.blocks_read,
+                )
+                continue
+            value = sum_est / count_est
+            # Extremes of (sum +- es) / (count -+ ec) around the estimate.
+            candidates = [
+                (sum_est + sum_err) / count_lo,
+                (sum_est - sum_err) / count_lo,
+                (sum_est + sum_err) / (count_est + count_err),
+                (sum_est - sum_err) / (count_est + count_err),
+            ]
+            bound = max(abs(c - value) for c in candidates)
+            yield ProgressiveAggregate(
+                value=value, error_bound=bound, blocks_read=step.blocks_read
+            )

@@ -1,0 +1,111 @@
+"""Query workload generation.
+
+Several experiments sweep random polynomial range-sums over a cube; this
+module is the shared, seeded generator for those workloads so benchmarks
+and tests draw from one audited distribution instead of re-rolling their
+own.  Shapes supported: uniform random ranges, hot-region drill-downs
+(overlapping ranges around one centre — the buffer-pool workload), and
+grid group-bys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import QueryError
+from repro.query.rangesum import RangeSumQuery
+
+__all__ = ["random_ranges", "drilldown_ranges", "grid_group_by"]
+
+
+def _check_shape(shape: tuple[int, ...]) -> None:
+    if not shape or any(n < 2 for n in shape):
+        raise QueryError(f"need a shape with every axis >= 2, got {shape}")
+
+
+def random_ranges(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    count: int = 20,
+    min_width: int = 2,
+    max_width: int | None = None,
+    degrees: dict[int, int] | None = None,
+) -> list[RangeSumQuery]:
+    """Uniformly random hyper-rectangular range-sums.
+
+    Args:
+        shape: Cube domain sizes.
+        rng: Random generator.
+        count: Number of queries.
+        min_width: Smallest per-dimension range width.
+        max_width: Largest width (default: the axis size).
+        degrees: Monomial measure as in :meth:`RangeSumQuery.weighted`.
+
+    Returns:
+        ``count`` queries, every range inside the domain.
+    """
+    _check_shape(shape)
+    if count < 1 or min_width < 1:
+        raise QueryError("count and min_width must be >= 1")
+    queries = []
+    for _ in range(count):
+        ranges = []
+        for n in shape:
+            cap = min(max_width or n, n)
+            width = int(rng.integers(min_width, max(min_width, cap) + 1))
+            lo = int(rng.integers(0, max(1, n - width + 1)))
+            ranges.append((lo, min(n - 1, lo + width - 1)))
+        queries.append(RangeSumQuery.weighted(ranges, degrees or {}))
+    return queries
+
+
+def drilldown_ranges(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    count: int = 20,
+    spread: int = 4,
+) -> list[RangeSumQuery]:
+    """Overlapping COUNT ranges clustered on one hot region.
+
+    The locality workload: every query's corners sit within ``spread`` of
+    a randomly chosen centre region, so repeated evaluation re-touches the
+    same blocks (what the buffer pool exploits).
+    """
+    _check_shape(shape)
+    if spread < 1:
+        raise QueryError(f"spread must be >= 1, got {spread}")
+    centre = [int(rng.integers(n // 4, 3 * n // 4)) for n in shape]
+    queries = []
+    for _ in range(count):
+        ranges = []
+        for c, n in zip(centre, shape):
+            lo = int(np.clip(c - int(rng.integers(1, spread + 1)), 0, n - 1))
+            hi = int(np.clip(c + int(rng.integers(1, spread + 1)), lo, n - 1))
+            ranges.append((lo, hi))
+        queries.append(RangeSumQuery.count(ranges))
+    return queries
+
+
+def grid_group_by(
+    shape: tuple[int, ...],
+    dim: int,
+    group_width: int,
+    degrees: dict[int, int] | None = None,
+) -> list[RangeSumQuery]:
+    """The cell queries of a GROUP BY over one dimension (full domain on
+    the others) — the related-aggregate batch of §3.3.1."""
+    _check_shape(shape)
+    if not 0 <= dim < len(shape):
+        raise QueryError(f"group-by dimension {dim} out of range")
+    if group_width < 1:
+        raise QueryError(f"group width must be >= 1, got {group_width}")
+    queries = []
+    for start in range(0, shape[dim], group_width):
+        ranges = []
+        for d, n in enumerate(shape):
+            if d == dim:
+                ranges.append((start, min(n - 1, start + group_width - 1)))
+            else:
+                ranges.append((0, n - 1))
+        queries.append(RangeSumQuery.weighted(ranges, degrees or {}))
+    return queries

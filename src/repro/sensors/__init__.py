@@ -1,0 +1,77 @@
+"""Sensor simulators and synthetic datasets for the AIMS workloads."""
+
+from repro.sensors.asl import (
+    ASL_VOCABULARY,
+    NEUTRAL_SHAPE,
+    Segment,
+    SignInstance,
+    SignSpec,
+    hand_shape,
+    synthesize_session,
+    synthesize_sign,
+)
+from repro.sensors.atmosphere import (
+    atmospheric_cube,
+    dataset_suite,
+    random_cube,
+    spiky_cube,
+)
+from repro.sensors.classroom import (
+    ClassroomSession,
+    DistractionInterval,
+    StimulusEvent,
+    SubjectProfile,
+    generate_cohort,
+    make_profile,
+    simulate_session,
+)
+from repro.sensors.glove import CyberGloveSimulator, band_limited_signal
+from repro.sensors.model import (
+    BODY_TRACKER_SITES,
+    CYBERGLOVE_SENSORS,
+    GLOVE_RATE_HZ,
+    HAND_RIG_SENSORS,
+    POLHEMUS_CHANNELS,
+    TRACKER_CHANNEL_NAMES,
+    SensorSpec,
+    sensor_by_id,
+)
+from repro.sensors.noise import NoiseModel, snr_db
+from repro.sensors.replay import SessionBundle, load_session, save_session
+
+__all__ = [
+    "SensorSpec",
+    "CYBERGLOVE_SENSORS",
+    "POLHEMUS_CHANNELS",
+    "HAND_RIG_SENSORS",
+    "TRACKER_CHANNEL_NAMES",
+    "BODY_TRACKER_SITES",
+    "GLOVE_RATE_HZ",
+    "sensor_by_id",
+    "NoiseModel",
+    "SessionBundle",
+    "save_session",
+    "load_session",
+    "snr_db",
+    "CyberGloveSimulator",
+    "band_limited_signal",
+    "SignSpec",
+    "SignInstance",
+    "Segment",
+    "hand_shape",
+    "NEUTRAL_SHAPE",
+    "ASL_VOCABULARY",
+    "synthesize_sign",
+    "synthesize_session",
+    "SubjectProfile",
+    "StimulusEvent",
+    "DistractionInterval",
+    "ClassroomSession",
+    "make_profile",
+    "simulate_session",
+    "generate_cohort",
+    "atmospheric_cube",
+    "spiky_cube",
+    "random_cube",
+    "dataset_suite",
+]

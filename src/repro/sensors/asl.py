@@ -1,0 +1,265 @@
+"""American Sign Language sign synthesis — the online workload of §2.2.
+
+The paper recognizes ASL signs from 28-sensor hand-rig streams.  We
+substitute the human signer with a parametric synthesizer:
+
+* every *hand shape* (letter) is a fixed 22-joint target posture;
+* every *sign* is a hand shape plus a wrist/tracker trajectory ("color
+  green is conveyed using hand shape of that of letter G with the wrist
+  twisting twice" — §2.2);
+* every *instance* of a sign gets an independent random time warp
+  (different persons finish a motion with different durations — §1.2),
+  amplitude jitter and sensor noise.
+
+What the recognizer exploits is that instances of the same sign share a
+28-D covariance signature while different signs differ — exactly the
+property a posture-plus-trajectory generative model produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import RecognitionError
+from repro.sensors.model import CYBERGLOVE_SENSORS, GLOVE_RATE_HZ
+from repro.sensors.noise import NoiseModel
+
+__all__ = [
+    "SignSpec",
+    "SignInstance",
+    "Segment",
+    "hand_shape",
+    "NEUTRAL_SHAPE",
+    "ASL_VOCABULARY",
+    "synthesize_sign",
+    "synthesize_session",
+]
+
+_N_JOINTS = len(CYBERGLOVE_SENSORS)  # 22
+_N_TRACKER = 6
+WIDTH = _N_JOINTS + _N_TRACKER  # 28
+
+TRAJECTORIES = ("static", "twist2", "line_down", "wave", "arc", "circle")
+
+
+@dataclass(frozen=True)
+class SignSpec:
+    """A vocabulary entry: hand shape + wrist trajectory + nominal length."""
+
+    name: str
+    shape: str
+    trajectory: str
+    base_duration: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.trajectory not in TRAJECTORIES:
+            raise RecognitionError(
+                f"sign {self.name!r}: unknown trajectory {self.trajectory!r}"
+            )
+        if self.base_duration <= 0:
+            raise RecognitionError(
+                f"sign {self.name!r}: duration must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class SignInstance:
+    """One synthesized performance of a sign."""
+
+    name: str
+    frames: np.ndarray  # (time, 28)
+    rate_hz: float
+
+    @property
+    def duration(self) -> float:
+        """Instance length in seconds."""
+        return self.frames.shape[0] / self.rate_hz
+
+
+@dataclass(frozen=True)
+class Segment:
+    """Ground-truth location of one sign inside a session stream."""
+
+    name: str
+    start: int  # inclusive frame index
+    end: int  # exclusive frame index
+
+
+def hand_shape(letter: str) -> np.ndarray:
+    """Canonical 22-joint posture for a hand-shape name.
+
+    Deterministic: derived from a seeded generator keyed by the name, so
+    the same letter always denotes the same posture, and distinct letters
+    get well-separated postures (each joint is snapped to one of five
+    flexion levels, giving a large minimum inter-shape distance).
+    """
+    if not letter:
+        raise RecognitionError("hand shape name must be non-empty")
+    seed = int.from_bytes(letter.upper().encode(), "little") % (2**31)
+    rng = np.random.default_rng(seed)
+    shape = np.empty(_N_JOINTS)
+    levels = np.linspace(0.1, 0.9, 5)
+    for k, spec in enumerate(CYBERGLOVE_SENSORS):
+        frac = rng.choice(levels)
+        shape[k] = spec.lo + frac * (spec.hi - spec.lo)
+    return shape
+
+
+NEUTRAL_SHAPE = hand_shape("NEUTRAL")
+
+
+# The ten-sign vocabulary used throughout the experiments: five static
+# alphabet letters (most letter signs involve no hand movement — §2.2),
+# color signs built letter+twist exactly as the paper describes, and two
+# moving word signs.
+ASL_VOCABULARY: tuple[SignSpec, ...] = (
+    SignSpec("A", "A", "static", 0.9),
+    SignSpec("B", "B", "static", 0.9),
+    SignSpec("C", "C", "static", 0.9),
+    SignSpec("D", "D", "static", 0.9),
+    SignSpec("E", "E", "static", 0.9),
+    SignSpec("GREEN", "G", "twist2", 1.3),
+    SignSpec("YELLOW", "Y", "twist2", 1.3),
+    SignSpec("RED", "R", "line_down", 1.1),
+    SignSpec("BLUE", "B", "wave", 1.4),
+    SignSpec("HELLO", "OPEN", "arc", 1.5),
+)
+
+
+def _trajectory(kind: str, t: np.ndarray) -> np.ndarray:
+    """Polhemus channel targets over normalized time ``t`` in [0, 1].
+
+    Returns a ``(len(t), 6)`` array of (X, Y, Z, H, P, R) offsets from the
+    rest pose, in cm / degrees.
+    """
+    out = np.zeros((t.size, _N_TRACKER))
+    if kind == "static":
+        return out
+    if kind == "twist2":
+        # Wrist roll oscillating twice: R channel.
+        out[:, 5] = 45.0 * np.sin(2 * np.pi * 2.0 * t)
+        return out
+    if kind == "line_down":
+        out[:, 1] = -20.0 * t  # Y drops
+        out[:, 4] = 10.0 * t  # slight pitch
+        return out
+    if kind == "wave":
+        out[:, 0] = 8.0 * np.sin(2 * np.pi * 3.0 * t)  # X wiggle
+        out[:, 5] = 15.0 * np.sin(2 * np.pi * 3.0 * t)
+        return out
+    if kind == "arc":
+        out[:, 0] = 15.0 * np.sin(np.pi * t)
+        out[:, 1] = 10.0 * np.sin(np.pi * t)
+        out[:, 3] = 30.0 * t  # heading sweep
+        return out
+    if kind == "circle":
+        out[:, 0] = 10.0 * np.cos(2 * np.pi * t) - 10.0
+        out[:, 1] = 10.0 * np.sin(2 * np.pi * t)
+        return out
+    raise RecognitionError(f"unknown trajectory {kind!r}")
+
+
+def synthesize_sign(
+    spec: SignSpec,
+    rng: np.random.Generator,
+    rate_hz: float = GLOVE_RATE_HZ,
+    noise: NoiseModel | None = None,
+    warp_range: tuple[float, float] = (0.75, 1.35),
+    onset_jitter: float = 0.0,
+) -> SignInstance:
+    """Generate one performance of a sign.
+
+    The joint channels ramp from the neutral posture into the sign's hand
+    shape over the first quarter of the instance, hold it (with small
+    physiological tremor), and relax over the last tenth.  The tracker
+    channels follow the sign's trajectory.  Per-instance randomness: a
+    uniform time warp from ``warp_range``, ±10 % amplitude jitter and the
+    supplied noise model.
+
+    Args:
+        onset_jitter: Maximum neutral-hold padding (seconds) randomly
+            prepended and appended *inside* the instance — models the
+            imprecise isolation boundaries real segmenters produce.
+            Alignment-based similarity measures suffer from it; the
+            covariance-based weighted-SVD measure does not.
+    """
+    if rate_hz <= 0:
+        raise RecognitionError(f"rate must be positive, got {rate_hz}")
+    if onset_jitter < 0:
+        raise RecognitionError(f"onset jitter must be >= 0, got {onset_jitter}")
+    noise = noise if noise is not None else NoiseModel(white_sigma=0.6)
+    warp = rng.uniform(*warp_range)
+    n = max(8, int(round(spec.base_duration * warp * rate_hz)))
+    t = np.linspace(0.0, 1.0, n)
+
+    target = hand_shape(spec.shape)
+    amp = rng.uniform(0.9, 1.1)
+    # Attack / hold / release envelope.
+    envelope = np.clip(t / 0.25, 0.0, 1.0) * np.clip((1.0 - t) / 0.10, 0.0, 1.0)
+    envelope = np.clip(envelope, 0.0, 1.0)
+    joints = NEUTRAL_SHAPE + np.outer(envelope, amp * (target - NEUTRAL_SHAPE))
+    tremor = 0.8 * np.sin(
+        2 * np.pi * rng.uniform(4.0, 7.0) * t[:, None] * spec.base_duration
+        + rng.uniform(0, 2 * np.pi, size=_N_JOINTS)[None, :]
+    )
+    joints += tremor
+
+    tracker = amp * _trajectory(spec.trajectory, t) * envelope[:, None]
+    frames = np.hstack([joints, tracker])
+    if onset_jitter > 0:
+        rest = np.concatenate([NEUTRAL_SHAPE, np.zeros(_N_TRACKER)])
+        head = int(rng.uniform(0, onset_jitter) * rate_hz)
+        tail = int(rng.uniform(0, onset_jitter) * rate_hz)
+        frames = np.vstack(
+            [np.tile(rest, (head, 1)), frames, np.tile(rest, (tail, 1))]
+        )
+    return SignInstance(
+        name=spec.name, frames=noise.apply(frames, rng), rate_hz=rate_hz
+    )
+
+
+def synthesize_session(
+    sequence: list[SignSpec],
+    rng: np.random.Generator,
+    rate_hz: float = GLOVE_RATE_HZ,
+    gap_duration: float = 0.5,
+    noise: NoiseModel | None = None,
+) -> tuple[np.ndarray, list[Segment]]:
+    """Concatenate sign performances with neutral-hand gaps between them.
+
+    This is the stream the online recognizer must *isolate and recognize*
+    (§3.4): variable-length signs back to back, with the ground-truth
+    segment boundaries returned for scoring.
+
+    Returns:
+        ``(frames, segments)`` where frames is ``(total, 28)`` and each
+        segment records where one sign sits in the frame index space.
+    """
+    if not sequence:
+        raise RecognitionError("session needs at least one sign")
+    noise = noise if noise is not None else NoiseModel(white_sigma=0.6)
+    chunks: list[np.ndarray] = []
+    segments: list[Segment] = []
+    cursor = 0
+
+    def neutral_gap() -> np.ndarray:
+        n = max(4, int(round(gap_duration * rng.uniform(0.7, 1.3) * rate_hz)))
+        rest = np.tile(np.concatenate([NEUTRAL_SHAPE, np.zeros(_N_TRACKER)]), (n, 1))
+        return noise.apply(rest, rng)
+
+    gap = neutral_gap()
+    chunks.append(gap)
+    cursor += gap.shape[0]
+    for spec in sequence:
+        inst = synthesize_sign(spec, rng, rate_hz, noise=noise)
+        chunks.append(inst.frames)
+        segments.append(
+            Segment(spec.name, cursor, cursor + inst.frames.shape[0])
+        )
+        cursor += inst.frames.shape[0]
+        gap = neutral_gap()
+        chunks.append(gap)
+        cursor += gap.shape[0]
+    return np.vstack(chunks), segments

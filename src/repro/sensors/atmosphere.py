@@ -1,0 +1,114 @@
+"""Synthetic atmospheric data cubes — the Fig. 4 workload.
+
+§4 of the paper demos AIMS's progressive range-aggregate queries "over
+atmospheric multidimensional data sets provided by NASA/JPL".  Those data
+are not redistributable, so this module synthesizes climate-like cubes
+with the structural properties ProPolyne's behaviour depends on: smooth
+large-scale spatial gradients, a seasonal cycle along the time axis, and
+mild measurement noise.
+
+The module also provides the contrast datasets experiment E4 needs — a
+spiky cube (sparse large outliers, where data approximation struggles) and
+a white-noise cube (where data approximation fails badly) — so the paper's
+"varies wildly with the dataset" claim can be demonstrated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import SchemaError
+
+__all__ = [
+    "atmospheric_cube",
+    "spiky_cube",
+    "random_cube",
+    "dataset_suite",
+]
+
+
+def atmospheric_cube(
+    shape: tuple[int, ...] = (32, 32, 16),
+    rng: np.random.Generator | None = None,
+    noise_sigma: float = 0.4,
+) -> np.ndarray:
+    """A smooth temperature-like cube over (latitude, longitude, time).
+
+    Latitudinal gradient (poles cold, equator warm), a couple of smooth
+    longitudinal anomalies (continents/oceans), a seasonal sinusoid along
+    the last axis, plus white measurement noise.
+
+    Args:
+        shape: Cube dimensions; 2-D and 3-D shapes supported.
+        rng: Random generator; a fixed default is used when omitted.
+        noise_sigma: Measurement-noise standard deviation in degrees.
+
+    Returns:
+        Cube of the requested shape, values roughly in [-10, 35].
+    """
+    if len(shape) not in (2, 3):
+        raise SchemaError(f"atmospheric cube must be 2-D or 3-D, got {shape}")
+    rng = rng if rng is not None else np.random.default_rng(42)
+    n_lat, n_lon = shape[0], shape[1]
+    lat = np.linspace(-np.pi / 2, np.pi / 2, n_lat)
+    lon = np.linspace(0, 2 * np.pi, n_lon, endpoint=False)
+
+    base = 25.0 * np.cos(lat)[:, None] - 2.0  # latitudinal gradient
+    anomalies = (
+        4.0 * np.sin(2 * lon)[None, :]
+        + 3.0 * np.cos(lon + 1.0)[None, :] * np.sin(lat)[:, None]
+    )
+    field2d = base + anomalies
+
+    if len(shape) == 2:
+        cube = field2d
+    else:
+        n_time = shape[2]
+        season = 8.0 * np.sin(2 * np.pi * np.arange(n_time) / n_time)
+        # Seasonal swing is strongest away from the equator.
+        swing = np.abs(np.sin(lat))[:, None, None]
+        cube = field2d[:, :, None] + swing * season[None, None, :]
+    return cube + rng.normal(0.0, noise_sigma, size=cube.shape)
+
+
+def spiky_cube(
+    shape: tuple[int, ...] = (64, 64),
+    rng: np.random.Generator | None = None,
+    spike_fraction: float = 0.01,
+    spike_scale: float = 50.0,
+) -> np.ndarray:
+    """A near-zero cube with a sparse scattering of large spikes.
+
+    Models event-like data (counts of rare incidents).  Top-B wavelet
+    synopses spend their whole budget chasing the spikes, so range queries
+    away from spikes are served poorly — one side of claim E4.
+    """
+    rng = rng if rng is not None else np.random.default_rng(43)
+    if not 0 < spike_fraction < 1:
+        raise SchemaError(f"spike fraction {spike_fraction} outside (0, 1)")
+    cube = rng.normal(0.0, 0.2, size=shape)
+    n_spikes = max(1, int(spike_fraction * cube.size))
+    flat_idx = rng.choice(cube.size, size=n_spikes, replace=False)
+    cube.ravel()[flat_idx] += rng.exponential(spike_scale, size=n_spikes)
+    return cube
+
+
+def random_cube(
+    shape: tuple[int, ...] = (64, 64),
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Incompressible white noise — the worst case for data approximation."""
+    rng = rng if rng is not None else np.random.default_rng(44)
+    return rng.normal(0.0, 1.0, size=shape)
+
+
+def dataset_suite(
+    shape: tuple[int, ...] = (64, 64), seed: int = 7
+) -> dict[str, np.ndarray]:
+    """The three-dataset suite experiment E4 sweeps over."""
+    rng = np.random.default_rng(seed)
+    return {
+        "atmospheric": atmospheric_cube(shape, rng),
+        "spiky": spiky_cube(shape, rng),
+        "random": random_cube(shape, rng),
+    }

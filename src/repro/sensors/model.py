@@ -1,0 +1,147 @@
+"""Sensor hardware models: the device vocabulary of the AIMS paper.
+
+Table 1 of the paper lists the 22 joint-angle sensors of the CyberGlove;
+§2.2 adds the 6-channel Polhemus wrist tracker for a 28-sensor hand
+capture, and §2.1 describes the ADHD rig: 6-D trackers (X, Y, Z position;
+H, P, R rotation) on the head, hands and legs, streamed with timestamp and
+sensor-id attributes for an 8-dimensional record schema.
+
+Everything downstream (acquisition, storage, recognition) refers to sensors
+through the :class:`SensorSpec` entries defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import SchemaError
+
+__all__ = [
+    "SensorSpec",
+    "CYBERGLOVE_SENSORS",
+    "POLHEMUS_CHANNELS",
+    "HAND_RIG_SENSORS",
+    "TRACKER_CHANNEL_NAMES",
+    "BODY_TRACKER_SITES",
+    "GLOVE_RATE_HZ",
+    "sensor_by_id",
+]
+
+# The paper: "samples of these data at each sensor clock, which is about
+# 0.01 second" -> 100 Hz.
+GLOVE_RATE_HZ = 100.0
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Static description of one physical sensor channel.
+
+    Attributes:
+        sensor_id: Stable integer id used in samples and records.
+        name: Human-readable description (Table 1 wording for the glove).
+        unit: Measurement unit.
+        lo: Smallest physically meaningful reading.
+        hi: Largest physically meaningful reading.
+        max_frequency_hz: Highest frequency component the underlying body
+            motion puts into this channel — the quantity the Nyquist-based
+            acquisition subsystem estimates.  Distal finger joints move
+            faster than the palm arch; the wrist and tracker channels sit
+            in between.  These values parameterize the simulators.
+    """
+
+    sensor_id: int
+    name: str
+    unit: str
+    lo: float
+    hi: float
+    max_frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.lo >= self.hi:
+            raise SchemaError(
+                f"sensor {self.name!r}: lo {self.lo} must be < hi {self.hi}"
+            )
+        if self.max_frequency_hz <= 0:
+            raise SchemaError(
+                f"sensor {self.name!r}: max frequency must be positive"
+            )
+
+
+def _joint(sensor_id: int, name: str, f_max: float) -> SensorSpec:
+    """Glove joint-angle channel: degrees in [0, 90] unless abduction."""
+    span = (-30.0, 30.0) if "abduction" in name or "roll" in name else (0.0, 90.0)
+    return SensorSpec(
+        sensor_id=sensor_id,
+        name=name,
+        unit="deg",
+        lo=span[0],
+        hi=span[1],
+        max_frequency_hz=f_max,
+    )
+
+
+# Table 1 of the paper, verbatim sensor order and descriptions.  The
+# per-sensor max frequencies encode the heterogeneity §3.1 exploits:
+# fingers articulate fast (5-8 Hz tremor/motion content), the palm arch
+# and wrist move slowly (1-2 Hz).
+CYBERGLOVE_SENSORS: tuple[SensorSpec, ...] = (
+    _joint(1, "thumb roll sensor", 3.0),
+    _joint(2, "thumb inner joint", 5.0),
+    _joint(3, "thumb outer joint", 6.0),
+    _joint(4, "thumb-index abduction", 4.0),
+    _joint(5, "index inner joint", 6.0),
+    _joint(6, "index middle joint", 7.0),
+    _joint(7, "index outer joint", 8.0),
+    _joint(8, "middle inner joint", 6.0),
+    _joint(9, "middle middle joint", 7.0),
+    _joint(10, "middle outer joint", 8.0),
+    _joint(11, "index-middle abduction", 4.0),
+    _joint(12, "ring inner joint", 6.0),
+    _joint(13, "ring middle joint", 7.0),
+    _joint(14, "ring outer joint", 8.0),
+    _joint(15, "ring-middle abduction", 4.0),
+    _joint(16, "pinky inner joint", 6.0),
+    _joint(17, "pinky middle joint", 7.0),
+    _joint(18, "pinky outer joint", 8.0),
+    _joint(19, "pinky-ring abduction", 4.0),
+    _joint(20, "palm arch", 1.5),
+    _joint(21, "wrist flexion", 2.0),
+    _joint(22, "wrist abduction", 2.0),
+)
+
+# Polhemus tracker: hand position relative to an initial setting plus palm
+# plane rotation (§2.2).  Positions in centimetres, rotations in degrees.
+POLHEMUS_CHANNELS: tuple[SensorSpec, ...] = (
+    SensorSpec(23, "polhemus X position", "cm", -100.0, 100.0, 2.5),
+    SensorSpec(24, "polhemus Y position", "cm", -100.0, 100.0, 2.5),
+    SensorSpec(25, "polhemus Z position", "cm", -100.0, 100.0, 2.5),
+    SensorSpec(26, "polhemus H rotation", "deg", -180.0, 180.0, 3.0),
+    SensorSpec(27, "polhemus P rotation", "deg", -180.0, 180.0, 3.0),
+    SensorSpec(28, "polhemus R rotation", "deg", -180.0, 180.0, 3.0),
+)
+
+# The full 28-sensor hand rig of §2.2: "collectively the data from the 28
+# sensors capture the entirety of a hand motion."
+HAND_RIG_SENSORS: tuple[SensorSpec, ...] = CYBERGLOVE_SENSORS + POLHEMUS_CHANNELS
+
+# §2.1: each body tracker streams 6 dimensions.
+TRACKER_CHANNEL_NAMES: tuple[str, ...] = ("X", "Y", "Z", "H", "P", "R")
+
+# Tracker placement for the Virtual Classroom study.
+BODY_TRACKER_SITES: tuple[str, ...] = (
+    "head",
+    "left_hand",
+    "right_hand",
+    "left_leg",
+    "right_leg",
+)
+
+_BY_ID = {spec.sensor_id: spec for spec in HAND_RIG_SENSORS}
+
+
+def sensor_by_id(sensor_id: int) -> SensorSpec:
+    """Look up a hand-rig sensor by its Table 1 / Polhemus id."""
+    try:
+        return _BY_ID[sensor_id]
+    except KeyError:
+        raise SchemaError(f"unknown hand-rig sensor id {sensor_id}") from None

@@ -1,0 +1,46 @@
+"""Storage subsystem: simulated disk, wavelet block allocation, BLOB
+catalog, buffer pool and progressive I/O scheduling (§3.2 of the paper)."""
+
+from repro.storage.allocation import (
+    Allocation,
+    TensorAllocation,
+    depth_first_allocation,
+    measure_utilization,
+    point_query_workload,
+    random_allocation,
+    range_query_workload,
+    sequential_allocation,
+    subtree_tiling_allocation,
+    utilization_bound,
+)
+from repro.storage.blobstore import BlobRef, BlobStore
+from repro.storage.blockstore import TensorBlockStore, WaveletBlockStore
+from repro.storage.bufferpool import BufferPool, PoolStats
+from repro.storage.disk import IOStats, SimulatedDisk
+from repro.storage.retrieval import ProgressiveSignal, SignalArchive
+from repro.storage.scheduler import BlockPlan, plan_blocks
+
+__all__ = [
+    "SimulatedDisk",
+    "IOStats",
+    "Allocation",
+    "TensorAllocation",
+    "sequential_allocation",
+    "random_allocation",
+    "depth_first_allocation",
+    "subtree_tiling_allocation",
+    "utilization_bound",
+    "measure_utilization",
+    "point_query_workload",
+    "range_query_workload",
+    "WaveletBlockStore",
+    "TensorBlockStore",
+    "BufferPool",
+    "PoolStats",
+    "BlobStore",
+    "BlobRef",
+    "BlockPlan",
+    "SignalArchive",
+    "ProgressiveSignal",
+    "plan_blocks",
+]

@@ -1,0 +1,90 @@
+"""A BLOB store with location ids.
+
+§4 of the paper: "currently, these blocks are stored as BLOBs (using
+Teradata's BYTE data type) within Teradata.  However, we plan to store
+them as disk blocks on raw disk and instead only store their location IDs
+in Teradata."  This module models that catalog: named binary objects
+addressed by opaque location ids, with byte accounting, so the AIMS facade
+can persist packed coefficient blocks either way — BLOBs here, or raw
+blocks on :class:`~repro.storage.disk.SimulatedDisk`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import StorageError
+
+__all__ = ["BlobRef", "BlobStore"]
+
+
+@dataclass(frozen=True)
+class BlobRef:
+    """Opaque location id handed back by :meth:`BlobStore.put`."""
+
+    location_id: int
+    name: str
+    n_bytes: int
+
+
+@dataclass
+class BlobStore:
+    """In-memory BLOB catalog."""
+
+    _blobs: dict[int, bytes] = field(default_factory=dict)
+    _names: dict[int, str] = field(default_factory=dict)
+    _next_id: int = 0
+
+    def put(self, name: str, payload: bytes) -> BlobRef:
+        """Store a blob, returning its location id."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise StorageError(
+                f"blob payload must be bytes, got {type(payload).__name__}"
+            )
+        location = self._next_id
+        self._next_id += 1
+        self._blobs[location] = bytes(payload)
+        self._names[location] = name
+        return BlobRef(location_id=location, name=name, n_bytes=len(payload))
+
+    def put_array(self, name: str, array: np.ndarray) -> BlobRef:
+        """Store a float array as a blob (little-endian float64)."""
+        data = np.asarray(array, dtype="<f8")
+        return self.put(name, data.tobytes())
+
+    def get(self, ref: BlobRef | int) -> bytes:
+        """Fetch a blob by reference or raw location id."""
+        location = ref.location_id if isinstance(ref, BlobRef) else ref
+        try:
+            return self._blobs[location]
+        except KeyError:
+            raise StorageError(f"no blob at location {location}") from None
+
+    def get_array(self, ref: BlobRef | int) -> np.ndarray:
+        """Fetch a blob stored with :meth:`put_array`."""
+        return np.frombuffer(self.get(ref), dtype="<f8").copy()
+
+    def delete(self, ref: BlobRef | int) -> None:
+        """Remove a blob."""
+        location = ref.location_id if isinstance(ref, BlobRef) else ref
+        if location not in self._blobs:
+            raise StorageError(f"no blob at location {location}")
+        del self._blobs[location]
+        del self._names[location]
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes held across all blobs."""
+        return sum(len(b) for b in self._blobs.values())
+
+    def catalog(self) -> list[BlobRef]:
+        """All stored blobs as references."""
+        return [
+            BlobRef(location_id=loc, name=self._names[loc], n_bytes=len(blob))
+            for loc, blob in sorted(self._blobs.items())
+        ]

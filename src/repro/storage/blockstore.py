@@ -1,0 +1,181 @@
+"""Wavelet block stores: the bridge between allocation and queries.
+
+A block store owns a simulated disk, an allocation, and (optionally) a
+buffer pool, and serves the one request the query engine makes: "give me
+these coefficients, and tell me what it cost".  Two variants:
+
+* :class:`WaveletBlockStore` — 1-D flat-layout coefficient vectors;
+* :class:`TensorBlockStore` — multivariate coefficient cubes on
+  Cartesian-product blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import StorageError
+from repro.storage.allocation import Allocation, TensorAllocation
+from repro.storage.bufferpool import BufferPool
+from repro.storage.disk import IOStats, SimulatedDisk
+
+__all__ = ["WaveletBlockStore", "TensorBlockStore"]
+
+
+class WaveletBlockStore:
+    """1-D wavelet coefficients on disk, under a chosen allocation."""
+
+    def __init__(
+        self,
+        flat: np.ndarray,
+        allocation: Allocation,
+        pool_capacity: int | None = None,
+    ) -> None:
+        values = np.asarray(flat, dtype=float)
+        if values.size != allocation.n:
+            raise StorageError(
+                f"coefficient count {values.size} != allocation size "
+                f"{allocation.n}"
+            )
+        self.allocation = allocation
+        self.disk = SimulatedDisk(block_size=allocation.block_size)
+        for block_id, items in allocation.build_blocks(values).items():
+            self.disk.write_block(block_id, items)
+        self._pool = (
+            BufferPool(self.disk, pool_capacity) if pool_capacity else None
+        )
+        self._norm = float(np.linalg.norm(values))
+
+    @property
+    def n(self) -> int:
+        """Number of stored coefficients."""
+        return self.allocation.n
+
+    @property
+    def data_norm(self) -> float:
+        """L2 norm of the stored vector — recorded at population time and
+        used by the progressive evaluator's Cauchy–Schwarz error bound."""
+        return self._norm
+
+    def io_snapshot(self) -> IOStats:
+        """Current I/O counters (copy) for before/after differencing."""
+        return self.disk.stats.snapshot()
+
+    def io_since(self, before: IOStats) -> IOStats:
+        """I/O performed since ``before`` was snapshotted."""
+        return self.disk.stats.delta(before)
+
+    def _read(self, block_id: int) -> dict:
+        if self._pool is not None:
+            return self._pool.read_block(block_id)
+        return self.disk.read_block(block_id)
+
+    def fetch(self, indices: list[int] | set[int]) -> dict[int, float]:
+        """Fetch the requested coefficients, reading whole blocks."""
+        out: dict[int, float] = {}
+        for block_id in sorted(self.allocation.blocks_for(indices)):
+            block = self._read(block_id)
+            out.update(block)
+        missing = [i for i in indices if i not in out]
+        if missing:
+            raise StorageError(f"coefficients missing from blocks: {missing[:5]}")
+        return {int(i): out[int(i)] for i in indices}
+
+    def fetch_block(self, block_id: int) -> dict[int, float]:
+        """Fetch one whole block (progressive evaluation reads block-wise)."""
+        return self._read(block_id)
+
+    def update(self, index: int, value: float) -> None:
+        """Overwrite one coefficient (read-modify-write of its block)."""
+        if not 0 <= index < self.n:
+            raise StorageError(f"coefficient index {index} out of range")
+        block_id = int(self.allocation.block_of[index])
+        block = self.disk.read_block(block_id)
+        old = block[index]
+        block[index] = float(value)
+        self.disk.write_block(block_id, block)
+        if self._pool is not None:
+            self._pool.invalidate(block_id)
+        self._norm = float(
+            np.sqrt(max(0.0, self._norm**2 - old**2 + float(value) ** 2))
+        )
+
+
+class TensorBlockStore:
+    """Multivariate coefficient cube on Cartesian-product blocks."""
+
+    def __init__(
+        self,
+        coeffs: np.ndarray,
+        allocation: TensorAllocation,
+        pool_capacity: int | None = None,
+    ) -> None:
+        cube = np.asarray(coeffs, dtype=float)
+        if cube.shape != allocation.shape:
+            raise StorageError(
+                f"cube shape {cube.shape} != allocation shape "
+                f"{allocation.shape}"
+            )
+        self.allocation = allocation
+        self.disk = SimulatedDisk(block_size=allocation.block_capacity)
+        for block_id, items in allocation.build_blocks(cube).items():
+            self.disk.write_block(block_id, items)
+        self._pool = (
+            BufferPool(self.disk, pool_capacity) if pool_capacity else None
+        )
+        self._norm = float(np.linalg.norm(cube.ravel()))
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Stored coefficient cube shape."""
+        return self.allocation.shape
+
+    @property
+    def data_norm(self) -> float:
+        """L2 norm of the stored cube (for progressive error bounds)."""
+        return self._norm
+
+    def io_snapshot(self) -> IOStats:
+        """Current I/O counters (copy) for before/after differencing."""
+        return self.disk.stats.snapshot()
+
+    def io_since(self, before: IOStats) -> IOStats:
+        """I/O performed since ``before`` was snapshotted."""
+        return self.disk.stats.delta(before)
+
+    def _read(self, block_id: tuple[int, ...]) -> dict:
+        if self._pool is not None:
+            return self._pool.read_block(block_id)
+        return self.disk.read_block(block_id)
+
+    def fetch(
+        self, indices: list[tuple[int, ...]]
+    ) -> dict[tuple[int, ...], float]:
+        """Fetch the requested multivariate coefficients block-wise."""
+        needed_blocks = {self.allocation.block_of(i) for i in indices}
+        cache: dict[tuple[int, ...], float] = {}
+        for block_id in sorted(needed_blocks):
+            cache.update(self._read(block_id))
+        try:
+            return {tuple(i): cache[tuple(i)] for i in indices}
+        except KeyError as exc:
+            raise StorageError(f"coefficient {exc} missing from blocks") from exc
+
+    def blocks_for(
+        self, indices: list[tuple[int, ...]]
+    ) -> set[tuple[int, ...]]:
+        """Blocks a set of coefficients lives on (planning, no I/O)."""
+        return {self.allocation.block_of(i) for i in indices}
+
+    def fetch_block(
+        self, block_id: tuple[int, ...]
+    ) -> dict[tuple[int, ...], float]:
+        """Fetch one whole product block."""
+        return self._read(block_id)
+
+    def update_block(
+        self, block_id: tuple[int, ...], items: dict[tuple[int, ...], float]
+    ) -> None:
+        """Overwrite one block (append path), keeping the pool coherent."""
+        self.disk.write_block(block_id, items)
+        if self._pool is not None:
+            self._pool.invalidate(block_id)

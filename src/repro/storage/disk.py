@@ -1,0 +1,97 @@
+"""A simulated block device with I/O accounting.
+
+The storage claims of §3.2 are all statements about *which coefficients
+share a disk block* and *how many blocks a query touches* — never about a
+specific device.  This simulator therefore models exactly that: fixed-size
+blocks addressed by id, with read/write counters that every experiment
+reads its I/O costs from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.errors import StorageError
+
+__all__ = ["IOStats", "SimulatedDisk"]
+
+
+@dataclass
+class IOStats:
+    """Counters for one device (or one measurement interval)."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.reads = 0
+        self.writes = 0
+
+    def snapshot(self) -> "IOStats":
+        """A copy for before/after differencing."""
+        return IOStats(reads=self.reads, writes=self.writes)
+
+    def delta(self, before: "IOStats") -> "IOStats":
+        """I/O performed since ``before`` was snapshotted."""
+        return IOStats(
+            reads=self.reads - before.reads, writes=self.writes - before.writes
+        )
+
+
+@dataclass
+class SimulatedDisk:
+    """Block device: block id -> payload dictionary.
+
+    Payloads are dictionaries from item key (e.g. flat coefficient index)
+    to value; ``block_size`` bounds how many items one block may carry,
+    mirroring a real device's fixed block capacity.
+    """
+
+    block_size: int
+    _blocks: dict[Hashable, dict] = field(default_factory=dict)
+    stats: IOStats = field(default_factory=IOStats)
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise StorageError(
+                f"block size must be positive, got {self.block_size}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def write_block(self, block_id: Hashable, items: dict) -> None:
+        """Store (or overwrite) one block."""
+        if len(items) > self.block_size:
+            raise StorageError(
+                f"block {block_id!r}: {len(items)} items exceed "
+                f"block size {self.block_size}"
+            )
+        self._blocks[block_id] = dict(items)
+        self.stats.writes += 1
+
+    def read_block(self, block_id: Hashable) -> dict:
+        """Fetch one block, counting the I/O."""
+        try:
+            block = self._blocks[block_id]
+        except KeyError:
+            raise StorageError(f"no such block {block_id!r}") from None
+        self.stats.reads += 1
+        return dict(block)
+
+    def has_block(self, block_id: Hashable) -> bool:
+        """Existence check (no I/O charged — directory metadata)."""
+        return block_id in self._blocks
+
+    def block_ids(self) -> list[Hashable]:
+        """All allocated block ids (no I/O charged)."""
+        return list(self._blocks)
+
+    def occupancy(self) -> float:
+        """Mean fraction of block capacity in use."""
+        if not self._blocks:
+            return 0.0
+        used = sum(len(b) for b in self._blocks.values())
+        return used / (len(self._blocks) * self.block_size)

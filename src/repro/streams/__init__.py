@@ -1,0 +1,31 @@
+"""Continuous-data-stream substrate: samples, frames, sources, windows."""
+
+from repro.streams.buffer import AcquisitionStats, DoubleBuffer
+from repro.streams.jitter import perturb_timing
+from repro.streams.multiplex import demultiplex, multiplex
+from repro.streams.sample import Frame, Sample, frames_to_matrix
+from repro.streams.source import (
+    ArraySource,
+    CallbackSource,
+    StreamSource,
+    concat_sources,
+)
+from repro.streams.window import SlidingWindow, sliding_windows, tumbling_windows
+
+__all__ = [
+    "Sample",
+    "Frame",
+    "frames_to_matrix",
+    "StreamSource",
+    "ArraySource",
+    "CallbackSource",
+    "concat_sources",
+    "SlidingWindow",
+    "sliding_windows",
+    "tumbling_windows",
+    "multiplex",
+    "perturb_timing",
+    "demultiplex",
+    "DoubleBuffer",
+    "AcquisitionStats",
+]

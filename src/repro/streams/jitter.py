@@ -1,0 +1,61 @@
+"""Device-clock imperfections: jitter, drift and drops.
+
+Real immersive rigs are not metronomes: per-device clocks drift, interrupt
+handlers fire late (§3.1's handler-call rate "varied as a function of the
+CPU speed"), and readings are lost.  This module perturbs an ideal sample
+stream with those effects so the multiplexer, recognizer and samplers can
+be tested against realistic timing — the robustness companion to the
+clean simulators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.errors import StreamError
+from repro.streams.sample import Sample
+
+__all__ = ["perturb_timing"]
+
+
+def perturb_timing(
+    samples: Iterable[Sample],
+    rng: np.random.Generator,
+    jitter_sd: float = 0.0,
+    drift_rate: float = 0.0,
+    drop_prob: float = 0.0,
+) -> Iterator[Sample]:
+    """Apply clock jitter, drift and drops to a sample stream.
+
+    Args:
+        samples: Time-ordered input samples.
+        rng: Random generator.
+        jitter_sd: Gaussian per-sample timestamp noise (seconds); jittered
+            timestamps are re-monotonized (a device never reports time
+            running backwards).
+        drift_rate: Linear clock drift — each emitted timestamp is scaled
+            by ``1 + drift_rate`` (e.g. 1e-4 = 100 ppm fast clock).
+        drop_prob: Per-sample probability the reading is lost.
+
+    Yields:
+        The surviving samples with perturbed, monotone timestamps.
+    """
+    if jitter_sd < 0:
+        raise StreamError(f"jitter_sd must be >= 0, got {jitter_sd}")
+    if drift_rate <= -1.0:
+        raise StreamError(f"drift rate {drift_rate} would reverse time")
+    if not 0 <= drop_prob < 1:
+        raise StreamError(f"drop probability {drop_prob} outside [0, 1)")
+    last = 0.0
+    for sample in samples:
+        if drop_prob and rng.random() < drop_prob:
+            continue
+        t = sample.timestamp * (1.0 + drift_rate)
+        if jitter_sd:
+            t += float(rng.normal(0.0, jitter_sd))
+        t = max(t, last)  # devices report monotone time
+        last = t
+        yield Sample(timestamp=t, sensor_id=sample.sensor_id,
+                     value=sample.value)

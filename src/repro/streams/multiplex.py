@@ -1,0 +1,87 @@
+"""Multiplexing several per-sensor sample streams into aligned frames.
+
+Real immersive rigs deliver *per-sensor* readings (possibly at different
+rates once adaptive sampling is on); the online analysis needs the "tight
+aggregation" of §1.2 — one vector per instant across all sensors.  The
+multiplexer performs that aggregation with zero-order-hold semantics: each
+output frame carries, for every sensor, its most recent reading at the
+frame's tick.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.errors import StreamError
+from repro.streams.sample import Frame, Sample
+
+__all__ = ["multiplex", "demultiplex"]
+
+
+def multiplex(
+    samples: Iterable[Sample],
+    sensor_ids: list[int],
+    rate_hz: float,
+    initial: float = 0.0,
+) -> Iterator[Frame]:
+    """Merge a time-ordered sample stream into fixed-rate frames.
+
+    Args:
+        samples: Samples sorted by timestamp (ties allowed), possibly with
+            unequal per-sensor rates (the output of adaptive sampling).
+        sensor_ids: The sensors to include, defining frame column order.
+        rate_hz: Output frame rate.
+        initial: Value assumed for a sensor before its first sample.
+
+    Yields:
+        One frame per tick from the first sample's tick to the last's,
+        holding each sensor's latest value (zero-order hold).
+    """
+    if not sensor_ids:
+        raise StreamError("multiplex needs at least one sensor id")
+    if rate_hz <= 0:
+        raise StreamError(f"rate must be positive, got {rate_hz}")
+    column = {sid: k for k, sid in enumerate(sensor_ids)}
+    if len(column) != len(sensor_ids):
+        raise StreamError("duplicate sensor ids in multiplex request")
+
+    period = 1.0 / rate_hz
+    state = np.full(len(sensor_ids), initial, dtype=float)
+    tick = None
+    last_time = -np.inf
+    for sample in samples:
+        if sample.timestamp < last_time:
+            raise StreamError(
+                f"samples out of order: {sample.timestamp} after {last_time}"
+            )
+        last_time = sample.timestamp
+        if sample.sensor_id not in column:
+            continue
+        if tick is None:
+            tick = int(np.floor(sample.timestamp / period))
+        # Emit frames for every tick strictly before this sample's tick.
+        sample_tick = int(np.floor(sample.timestamp / period))
+        while tick < sample_tick:
+            yield Frame.from_array(tick * period, state)
+            tick += 1
+        state[column[sample.sensor_id]] = sample.value
+    if tick is not None:
+        yield Frame.from_array(tick * period, state)
+
+
+def demultiplex(
+    frames: Iterable[Frame], sensor_ids: list[int]
+) -> Iterator[Sample]:
+    """Split frames back into a per-sensor sample stream (round-robin within
+    each timestamp), the inverse convenience of :func:`multiplex`."""
+    if not sensor_ids:
+        raise StreamError("demultiplex needs at least one sensor id")
+    for frame in frames:
+        if frame.width != len(sensor_ids):
+            raise StreamError(
+                f"frame width {frame.width} != {len(sensor_ids)} sensor ids"
+            )
+        for sid, value in zip(sensor_ids, frame.values):
+            yield Sample(timestamp=frame.timestamp, sensor_id=sid, value=value)

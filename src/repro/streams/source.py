@@ -1,0 +1,143 @@
+"""Stream sources — the producers of continuous immersidata.
+
+A :class:`StreamSource` abstracts "a sensor that keeps emitting frames":
+the online query subsystem must look at each datum only once (§1.2's CDS
+constraint), so sources are single-pass iterators.  Concrete sources wrap
+pre-generated arrays (simulated sensor sessions) or callables (procedural
+generators), and :class:`RateLimitedSource` models a device clock by
+spacing frames at a fixed sampling interval.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+from repro.core.errors import StreamError
+from repro.streams.sample import Frame
+
+__all__ = ["StreamSource", "ArraySource", "CallbackSource", "concat_sources"]
+
+
+class StreamSource:
+    """Iterable, single-pass producer of :class:`Frame` objects.
+
+    Subclasses implement :meth:`_generate`; iteration is tracked so that a
+    second pass raises instead of silently yielding nothing — streaming
+    algorithms that accidentally re-scan a stream are bugs, not features.
+    """
+
+    def __init__(self, width: int, rate_hz: float) -> None:
+        if width <= 0:
+            raise StreamError(f"stream width must be positive, got {width}")
+        if rate_hz <= 0:
+            raise StreamError(f"sampling rate must be positive, got {rate_hz}")
+        self.width = width
+        self.rate_hz = rate_hz
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[Frame]:
+        if self._consumed:
+            raise StreamError(
+                "stream source already consumed; continuous data streams "
+                "can be looked at only once"
+            )
+        self._consumed = True
+        return self._generate()
+
+    def _generate(self) -> Iterator[Frame]:
+        raise NotImplementedError
+
+
+class ArraySource(StreamSource):
+    """Stream a pre-generated ``(time, sensors)`` matrix as frames.
+
+    Args:
+        data: Matrix of shape ``(n_frames, width)``.
+        rate_hz: Device sampling rate; frame ``i`` gets timestamp
+            ``start_time + i / rate_hz``.
+        start_time: Timestamp of the first frame.
+    """
+
+    def __init__(
+        self, data: np.ndarray, rate_hz: float, start_time: float = 0.0
+    ) -> None:
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix[:, None]
+        if matrix.ndim != 2:
+            raise StreamError(f"ArraySource needs 2-D data, got {matrix.ndim}-D")
+        super().__init__(width=matrix.shape[1], rate_hz=rate_hz)
+        self._matrix = matrix
+        self._start_time = start_time
+
+    def __len__(self) -> int:
+        return self._matrix.shape[0]
+
+    def _generate(self) -> Iterator[Frame]:
+        period = 1.0 / self.rate_hz
+        for i, row in enumerate(self._matrix):
+            yield Frame.from_array(self._start_time + i * period, row)
+
+
+class CallbackSource(StreamSource):
+    """Stream frames produced on demand by a callable.
+
+    Args:
+        produce: ``produce(frame_index) -> values`` returning the sensor
+            vector for that tick, or ``None`` to end the stream.
+        width: Sensor count each produced vector must have.
+        rate_hz: Device sampling rate.
+        max_frames: Safety cap on stream length.
+    """
+
+    def __init__(
+        self,
+        produce: Callable[[int], np.ndarray | None],
+        width: int,
+        rate_hz: float,
+        max_frames: int = 1_000_000,
+    ) -> None:
+        super().__init__(width=width, rate_hz=rate_hz)
+        self._produce = produce
+        self._max_frames = max_frames
+
+    def _generate(self) -> Iterator[Frame]:
+        period = 1.0 / self.rate_hz
+        for i in range(self._max_frames):
+            values = self._produce(i)
+            if values is None:
+                return
+            arr = np.asarray(values, dtype=float)
+            if arr.shape != (self.width,):
+                raise StreamError(
+                    f"callback produced shape {arr.shape}, "
+                    f"expected ({self.width},)"
+                )
+            yield Frame.from_array(i * period, arr)
+
+
+def concat_sources(sources: list[StreamSource]) -> Iterator[Frame]:
+    """Chain several same-width sources into one stream, re-timestamping
+    so time increases monotonically across the seam.
+
+    Used to build long multi-sign ASL sessions out of individual sign
+    instances.
+    """
+    if not sources:
+        raise StreamError("concat_sources needs at least one source")
+    width = sources[0].width
+    offset = 0.0
+    last = 0.0
+    for src in sources:
+        if src.width != width:
+            raise StreamError(
+                f"cannot concatenate width-{src.width} stream onto "
+                f"width-{width} stream"
+            )
+        period = 1.0 / src.rate_hz
+        for frame in src:
+            last = offset + frame.timestamp
+            yield Frame(timestamp=last, values=frame.values)
+        offset = last + period

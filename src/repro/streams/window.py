@@ -1,0 +1,109 @@
+"""Sliding and tumbling windows over frame streams.
+
+§1.2 of the AIMS paper: continuous-data-stream "queries must be answered
+based on limited amount of information rather than the entire dataset".
+Windows are that limited information.  The adaptive sampler (§3.1) uses a
+sliding window over recent activity; the online recognizer (§3.4) compares
+a sliding window of frames against the vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.errors import StreamError
+from repro.streams.sample import Frame, frames_to_matrix
+
+__all__ = ["SlidingWindow", "sliding_windows", "tumbling_windows"]
+
+
+class SlidingWindow:
+    """A bounded FIFO of the most recent frames.
+
+    Push frames as they arrive; read the current contents as a
+    ``(time, sensors)`` matrix at any moment.  O(1) amortized per push.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise StreamError(f"window capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._frames: deque[Frame] = deque(maxlen=capacity)
+
+    def push(self, frame: Frame) -> None:
+        """Add a frame, evicting the oldest when full."""
+        self._frames.append(frame)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def full(self) -> bool:
+        """True once capacity frames have been seen."""
+        return len(self._frames) == self.capacity
+
+    def frames(self) -> list[Frame]:
+        """Current contents, oldest first."""
+        return list(self._frames)
+
+    def matrix(self) -> np.ndarray:
+        """Current contents as a ``(len, sensors)`` matrix."""
+        return frames_to_matrix(self.frames())
+
+    def clear(self) -> None:
+        """Drop all buffered frames (used after a pattern is isolated)."""
+        self._frames.clear()
+
+    @property
+    def span(self) -> float:
+        """Time covered by the buffered frames, in seconds."""
+        if len(self._frames) < 2:
+            return 0.0
+        return self._frames[-1].timestamp - self._frames[0].timestamp
+
+
+def sliding_windows(
+    stream: Iterable[Frame], size: int, step: int = 1
+) -> Iterator[list[Frame]]:
+    """Yield overlapping windows of ``size`` frames every ``step`` frames.
+
+    The first window is emitted once ``size`` frames have arrived; each
+    subsequent window advances by ``step``.
+    """
+    if size <= 0 or step <= 0:
+        raise StreamError(f"size and step must be positive, got {size}, {step}")
+    buffer: deque[Frame] = deque(maxlen=size)
+    since_emit = step  # emit as soon as the first window fills
+    for frame in stream:
+        buffer.append(frame)
+        if len(buffer) == size:
+            if since_emit >= step:
+                yield list(buffer)
+                since_emit = 0
+            since_emit += 1
+
+
+def tumbling_windows(
+    stream: Iterable[Frame], size: int, drop_last: bool = False
+) -> Iterator[list[Frame]]:
+    """Yield non-overlapping windows of ``size`` frames.
+
+    Args:
+        stream: Input frames.
+        size: Window length in frames.
+        drop_last: When True, a trailing partial window is discarded;
+            otherwise it is yielded as-is.
+    """
+    if size <= 0:
+        raise StreamError(f"size must be positive, got {size}")
+    chunk: list[Frame] = []
+    for frame in stream:
+        chunk.append(frame)
+        if len(chunk) == size:
+            yield chunk
+            chunk = []
+    if chunk and not drop_last:
+        yield chunk

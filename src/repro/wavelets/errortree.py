@@ -1,0 +1,129 @@
+"""The wavelet error tree.
+
+The storage subsystem of AIMS (§3.2.1) allocates wavelet coefficients to
+disk blocks by tiling the *error tree*: the binary tree whose nodes are the
+coefficients of a full 1-D decomposition in flat layout.  For a length-``N``
+(power of two) signal:
+
+* node ``0`` is the root scaling coefficient;
+* node ``1`` is the coarsest detail coefficient, a child of node ``0``;
+* every detail node ``k >= 1`` has children ``2k`` and ``2k + 1`` (when
+  ``2k < N``) — the two finer-scale details whose supports it covers.
+
+For the Haar filter, answering a *point* query ``x[i]`` requires exactly the
+root-to-leaf path of coefficients above position ``i``; a *range* query
+requires the union of the paths of its two boundary positions plus, at each
+level, nothing else (interior details integrate to zero).  This "you always
+need the whole path" access pattern is the locality principle the paper's
+block-allocation study exploits, and the path structure is what the
+``1 + lg B`` utilization bound is stated over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import TransformError
+from repro.wavelets.dwt import is_power_of_two
+
+__all__ = [
+    "parent",
+    "children",
+    "path_to_root",
+    "leaf_path",
+    "range_support",
+    "tree_depth",
+    "nodes_at_depth",
+]
+
+
+def parent(node: int) -> int | None:
+    """Parent of ``node`` in the error tree; ``None`` for the root."""
+    if node < 0:
+        raise TransformError(f"invalid error-tree node {node}")
+    if node == 0:
+        return None
+    if node == 1:
+        return 0
+    return node // 2
+
+
+def children(node: int, n: int) -> tuple[int, ...]:
+    """Children of ``node`` in the error tree over ``n`` coefficients."""
+    if not is_power_of_two(n):
+        raise TransformError(f"error tree needs power-of-two size, got {n}")
+    if node == 0:
+        return (1,) if n > 1 else ()
+    lo = 2 * node
+    if lo >= n:
+        return ()
+    return (lo, lo + 1)
+
+
+def path_to_root(node: int) -> list[int]:
+    """Nodes from ``node`` up to (and including) the root, in that order."""
+    path = [node]
+    current = node
+    while True:
+        up = parent(current)
+        if up is None:
+            return path
+        path.append(up)
+        current = up
+
+
+def leaf_path(position: int, n: int) -> list[int]:
+    """Coefficients needed to reconstruct Haar sample ``x[position]``.
+
+    For a full ``log2(n)``-level Haar decomposition the reconstruction of a
+    single sample uses the root scaling coefficient and one detail per
+    level: the detail node at depth ``d`` (0 = coarsest band) covering the
+    sample is ``2**d + (position >> (J - d))`` for ``J = log2(n)``, because
+    that band was produced at cascade step ``J - d`` where each coefficient
+    covers ``2**(J - d)`` original positions.
+
+    Returns:
+        Node indices ordered root-first (length ``log2(n) + 1``).
+    """
+    if not is_power_of_two(n):
+        raise TransformError(f"error tree needs power-of-two size, got {n}")
+    if not 0 <= position < n:
+        raise TransformError(f"position {position} outside [0, {n})")
+    levels = n.bit_length() - 1
+    path = [0]
+    for depth in range(levels):
+        path.append((1 << depth) + (position >> (levels - depth)))
+    return path
+
+
+def range_support(lo: int, hi: int, n: int) -> set[int]:
+    """Coefficients a Haar range-sum over ``[lo, hi]`` may touch.
+
+    The exact Haar range-sum needs the root plus, per level, only the detail
+    nodes whose support straddles one of the two range boundaries — i.e.
+    the union of the boundary leaf paths.  (Details fully inside the range
+    sum to zero against the constant query and details fully outside
+    multiply zeros.)
+    """
+    if hi < lo:
+        return set()
+    support = set(leaf_path(lo, n))
+    support |= set(leaf_path(hi, n))
+    return support
+
+
+def tree_depth(n: int) -> int:
+    """Depth of the error tree (``log2(n)`` detail levels)."""
+    if not is_power_of_two(n):
+        raise TransformError(f"error tree needs power-of-two size, got {n}")
+    return n.bit_length() - 1
+
+
+def nodes_at_depth(depth: int, n: int) -> range:
+    """Detail nodes at a given depth (``depth == 0`` is node 1's level)."""
+    total_depth = tree_depth(n)
+    if not 0 <= depth < total_depth:
+        raise TransformError(
+            f"depth {depth} outside [0, {total_depth}) for size {n}"
+        )
+    return range(1 << depth, 1 << (depth + 1))

@@ -1,0 +1,134 @@
+"""Tests for Nyquist rate estimation (repro.acquisition.nyquist)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AcquisitionError
+from repro.acquisition.nyquist import (
+    estimate_fmax_autocorr,
+    estimate_fmax_dft,
+    estimate_fmax_mse,
+    nyquist_rate,
+    required_rates,
+)
+from repro.sensors.glove import band_limited_signal
+
+
+RATE = 100.0
+
+
+def tone(freq: float, duration: float = 10.0, rate: float = RATE) -> np.ndarray:
+    t = np.arange(int(duration * rate)) / rate
+    return np.sin(2 * np.pi * freq * t)
+
+
+class TestDftEstimator:
+    @pytest.mark.parametrize("freq", [1.0, 5.0, 12.0])
+    def test_pure_tone(self, freq):
+        est = estimate_fmax_dft(tone(freq), RATE)
+        assert est == pytest.approx(freq, abs=0.2)
+
+    def test_two_tones_reports_higher(self):
+        signal = tone(3.0) + 0.5 * tone(9.0)
+        est = estimate_fmax_dft(signal, RATE)
+        assert est == pytest.approx(9.0, abs=0.3)
+
+    def test_band_limited_signal(self):
+        rng = np.random.default_rng(0)
+        signal = band_limited_signal(20.0, RATE, 6.0, rng)
+        est = estimate_fmax_dft(signal, RATE)
+        assert 2.0 <= est <= 6.5
+
+    def test_dc_signal(self):
+        assert estimate_fmax_dft(np.full(100, 3.0), RATE) == 0.0
+
+    def test_threshold_monotone(self):
+        signal = tone(3.0) + 0.1 * tone(12.0)
+        lo = estimate_fmax_dft(signal, RATE, energy_threshold=0.9)
+        hi = estimate_fmax_dft(signal, RATE, energy_threshold=0.999)
+        assert lo <= hi
+
+    def test_validation(self):
+        with pytest.raises(AcquisitionError):
+            estimate_fmax_dft(np.ones(4), RATE)
+        with pytest.raises(AcquisitionError):
+            estimate_fmax_dft(tone(1.0), -1.0)
+        with pytest.raises(AcquisitionError):
+            estimate_fmax_dft(tone(1.0), RATE, energy_threshold=0.0)
+
+
+class TestAutocorrEstimator:
+    @pytest.mark.parametrize("freq", [2.0, 5.0, 10.0])
+    def test_pure_tone(self, freq):
+        est = estimate_fmax_autocorr(tone(freq), RATE)
+        assert est == pytest.approx(freq, rel=0.35)
+
+    def test_dc_signal(self):
+        assert estimate_fmax_autocorr(np.full(100, 5.0), RATE) == 0.0
+
+    def test_underestimates_wideband(self):
+        """Autocorrelation tracks the dominant component, so it reads low
+        on wideband signals — the deficiency E10 quantifies."""
+        signal = tone(2.0) + 0.3 * tone(11.0)
+        est = estimate_fmax_autocorr(signal, RATE)
+        assert est < 8.0
+
+
+class TestMseEstimator:
+    def test_slow_tone_allows_decimation(self):
+        est = estimate_fmax_mse(tone(1.0), RATE, tolerance=0.05)
+        assert est <= 15.0
+
+    def test_fast_tone_needs_rate(self):
+        slow = estimate_fmax_mse(tone(1.0), RATE, tolerance=0.02)
+        fast = estimate_fmax_mse(tone(20.0), RATE, tolerance=0.02)
+        assert fast > slow
+
+    def test_constant_signal(self):
+        assert estimate_fmax_mse(np.full(200, 2.0), RATE) == 0.0
+
+    def test_tolerance_validated(self):
+        with pytest.raises(AcquisitionError):
+            estimate_fmax_mse(tone(1.0), RATE, tolerance=1.5)
+
+
+class TestNyquistRate:
+    def test_doubling(self):
+        assert nyquist_rate(5.0) == 10.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(AcquisitionError):
+            nyquist_rate(-1.0)
+
+
+class TestRequiredRates:
+    def test_per_sensor_rates(self):
+        session = np.column_stack([tone(1.0), tone(10.0)])
+        rates = required_rates(session, RATE, method="dft")
+        assert rates[1] > rates[0]
+        assert rates[0] == pytest.approx(2.0, abs=1.0)
+
+    def test_clipped_to_device_rate(self):
+        session = np.column_stack([tone(45.0)])
+        rates = required_rates(session, RATE, method="dft")
+        assert rates[0] <= RATE
+
+    def test_floor_applied(self):
+        session = np.column_stack([np.full(500, 1.0)])
+        rates = required_rates(session, RATE, method="dft", min_rate_hz=2.0)
+        assert rates[0] == 2.0
+
+    def test_all_methods_run(self):
+        session = np.column_stack([tone(2.0), tone(8.0)])
+        for method in ("dft", "autocorr", "mse"):
+            rates = required_rates(session, RATE, method=method)
+            assert rates.shape == (2,)
+            assert np.all(rates > 0)
+
+    def test_unknown_method(self):
+        with pytest.raises(AcquisitionError):
+            required_rates(np.zeros((100, 2)), RATE, method="psychic")
+
+    def test_1d_rejected(self):
+        with pytest.raises(AcquisitionError):
+            required_rates(tone(1.0), RATE)

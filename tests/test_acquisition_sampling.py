@@ -1,0 +1,153 @@
+"""Tests for the four sampling strategies (repro.acquisition.sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AcquisitionError
+from repro.acquisition.sampling import (
+    AdaptiveSampler,
+    FixedSampler,
+    GroupedSampler,
+    ModifiedFixedSampler,
+    SamplingResult,
+)
+from repro.sensors.glove import CyberGloveSimulator
+from repro.sensors.noise import NoiseModel
+
+
+RATE = 100.0
+
+
+@pytest.fixture(scope="module")
+def session():
+    """A 20 s noiseless glove session with heterogeneous sensor rates."""
+    sim = CyberGloveSimulator(noise=NoiseModel(white_sigma=0.0))
+    return sim.capture(20.0, np.random.default_rng(17))
+
+
+@pytest.fixture(scope="module")
+def bursty_session():
+    """A session with a quiet first half and an active second half."""
+    sim = CyberGloveSimulator(noise=NoiseModel(white_sigma=0.0))
+    n = int(20.0 * RATE)
+    activity = np.concatenate([np.full(n // 2, 0.05), np.ones(n - n // 2)])
+    return sim.capture(20.0, np.random.default_rng(18), activity=activity)
+
+
+ALL_SAMPLERS = [
+    FixedSampler(),
+    ModifiedFixedSampler(),
+    GroupedSampler(n_groups=3),
+    AdaptiveSampler(),
+]
+
+
+class TestEachStrategy:
+    @pytest.mark.parametrize("sampler", ALL_SAMPLERS, ids=lambda s: s.name)
+    def test_reconstruction_quality(self, session, sampler):
+        result = sampler.sample(session, RATE)
+        assert result.nrmse(session) < 0.05
+
+    @pytest.mark.parametrize("sampler", ALL_SAMPLERS, ids=lambda s: s.name)
+    def test_saves_bandwidth(self, session, sampler):
+        result = sampler.sample(session, RATE)
+        raw_bytes = session.size * 4
+        assert result.bytes_required < raw_bytes
+
+    @pytest.mark.parametrize("sampler", ALL_SAMPLERS, ids=lambda s: s.name)
+    def test_masks_shape(self, session, sampler):
+        result = sampler.sample(session, RATE)
+        assert result.kept.shape == (session.shape[1], session.shape[0])
+        assert result.kept.dtype == bool
+
+    @pytest.mark.parametrize("sampler", ALL_SAMPLERS, ids=lambda s: s.name)
+    def test_endpoints_always_kept(self, session, sampler):
+        result = sampler.sample(session, RATE)
+        assert result.kept[:, 0].all()
+        assert result.kept[:, -1].all()
+
+
+class TestStrategyOrdering:
+    def test_grouped_beats_fixed(self, session):
+        """Grouping sensors by rate must not record more than the single
+        conservative rate does."""
+        fixed = FixedSampler().sample(session, RATE)
+        grouped = GroupedSampler(n_groups=3).sample(session, RATE)
+        assert grouped.samples_recorded <= fixed.samples_recorded
+
+    def test_adaptive_beats_grouped_on_bursty_data(self, bursty_session):
+        """The E1 headline: adaptive sampling exploits quiet stretches."""
+        grouped = GroupedSampler(n_groups=3).sample(bursty_session, RATE)
+        adaptive = AdaptiveSampler().sample(bursty_session, RATE)
+        assert adaptive.bytes_required < grouped.bytes_required
+
+    def test_modified_fixed_beats_fixed_on_bursty_data(self, bursty_session):
+        fixed = FixedSampler().sample(bursty_session, RATE)
+        modified = ModifiedFixedSampler().sample(bursty_session, RATE)
+        assert modified.bytes_required <= fixed.bytes_required
+
+    def test_fixed_uses_single_mask(self, session):
+        result = FixedSampler().sample(session, RATE)
+        # Every sensor shares the same schedule under fixed sampling.
+        first = result.kept[0]
+        assert all((row == first).all() for row in result.kept)
+
+    def test_adaptive_uses_per_sensor_masks(self, session):
+        result = AdaptiveSampler().sample(session, RATE)
+        patterns = {row.tobytes() for row in result.kept}
+        assert len(patterns) > 1
+
+
+class TestSamplingResult:
+    def test_bytes_accounting(self):
+        kept = np.ones((2, 10), dtype=bool)
+        result = SamplingResult(
+            kept=kept, rate_hz=10.0, schedule_changes=3, strategy="t"
+        )
+        assert result.samples_recorded == 20
+        assert result.bytes_required == 20 * 4 + 3 * 4
+
+    def test_bandwidth(self):
+        kept = np.ones((1, 10), dtype=bool)
+        result = SamplingResult(
+            kept=kept, rate_hz=10.0, schedule_changes=0, strategy="t"
+        )
+        assert result.bandwidth_bps(duration=2.0) == pytest.approx(20.0)
+        with pytest.raises(AcquisitionError):
+            result.bandwidth_bps(duration=0.0)
+
+    def test_reconstruct_shape_mismatch(self):
+        kept = np.ones((2, 10), dtype=bool)
+        result = SamplingResult(
+            kept=kept, rate_hz=10.0, schedule_changes=0, strategy="t"
+        )
+        with pytest.raises(AcquisitionError):
+            result.reconstruct(np.zeros((10, 3)))
+
+    def test_empty_sensor_rejected(self):
+        kept = np.zeros((1, 10), dtype=bool)
+        result = SamplingResult(
+            kept=kept, rate_hz=10.0, schedule_changes=0, strategy="t"
+        )
+        with pytest.raises(AcquisitionError):
+            result.reconstruct(np.zeros((10, 1)))
+
+    def test_lossless_when_everything_kept(self):
+        session = np.random.default_rng(0).normal(size=(50, 3))
+        kept = np.ones((3, 50), dtype=bool)
+        result = SamplingResult(
+            kept=kept, rate_hz=10.0, schedule_changes=0, strategy="t"
+        )
+        assert result.nrmse(session) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestValidation:
+    def test_grouped_needs_positive_groups(self):
+        with pytest.raises(AcquisitionError):
+            GroupedSampler(n_groups=0)
+
+    def test_window_lengths_validated(self):
+        with pytest.raises(AcquisitionError):
+            AdaptiveSampler(window_seconds=0.0)
+        with pytest.raises(AcquisitionError):
+            ModifiedFixedSampler(block_seconds=-1.0)

@@ -1,0 +1,157 @@
+"""Tests for the classical batch learners (repro.analysis.classical)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AIMSError
+from repro.analysis.classical import (
+    DecisionTree,
+    GaussianNaiveBayes,
+    OneVsRestSVM,
+    motion_features,
+)
+from repro.analysis.validation import accuracy
+
+
+def three_blobs(n=90, gap=4.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centres = np.array([[0, 0], [gap, 0], [0, gap]], dtype=float)
+    x = np.vstack(
+        [rng.normal(size=(n // 3, 2)) + c for c in centres]
+    )
+    y = np.repeat(np.arange(3), n // 3)
+    return x, y
+
+
+class TestMotionFeatures:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        feats = motion_features(rng.normal(size=(40, 6)))
+        assert feats.shape == (18,)  # mean + std + speed per channel
+
+    def test_speed_sensitive(self):
+        t = np.arange(100)[:, None]
+        slow = np.sin(t / 30.0) * np.ones((1, 3))
+        fast = np.sin(t / 3.0) * np.ones((1, 3))
+        assert (
+            motion_features(fast)[6:9].sum()
+            > motion_features(slow)[6:9].sum()
+        )
+
+    def test_validation(self):
+        with pytest.raises(AIMSError):
+            motion_features(np.zeros(5))
+
+
+class TestGaussianNaiveBayes:
+    def test_separable_blobs(self):
+        x, y = three_blobs()
+        model = GaussianNaiveBayes().fit(x, y)
+        assert accuracy(y, model.predict(x)) >= 0.95
+
+    def test_priors_matter(self):
+        rng = np.random.default_rng(1)
+        # Overlapping classes, 9:1 imbalance: prior must tip the scale.
+        x = np.vstack([rng.normal(size=(90, 1)), rng.normal(size=(10, 1))])
+        y = np.array([0] * 90 + [1] * 10)
+        model = GaussianNaiveBayes().fit(x, y)
+        preds = model.predict(rng.normal(size=(50, 1)))
+        assert np.mean(preds == 0) > 0.8
+
+    def test_unfitted(self):
+        with pytest.raises(AIMSError):
+            GaussianNaiveBayes().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(AIMSError):
+            GaussianNaiveBayes(var_floor=0.0)
+        with pytest.raises(AIMSError):
+            GaussianNaiveBayes().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestDecisionTree:
+    def test_separable_blobs(self):
+        x, y = three_blobs()
+        model = DecisionTree(max_depth=5).fit(x, y)
+        assert accuracy(y, model.predict(x)) >= 0.95
+
+    def test_depth_respected(self):
+        x, y = three_blobs(n=90)
+        model = DecisionTree(max_depth=2).fit(x, y)
+        assert model.depth() <= 2
+
+    def test_pure_node_stops(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        model = DecisionTree().fit(x, y)
+        assert model.depth() == 0
+        assert (model.predict(x) == 1).all()
+
+    def test_axis_aligned_xor_needs_depth(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, size=(200, 2))
+        y = (x[:, 0] * x[:, 1] > 0).astype(int)
+        shallow = DecisionTree(max_depth=1).fit(x, y)
+        deep = DecisionTree(max_depth=4).fit(x, y)
+        assert accuracy(y, deep.predict(x)) > accuracy(y, shallow.predict(x))
+
+    def test_unfitted(self):
+        with pytest.raises(AIMSError):
+            DecisionTree().predict(np.zeros((1, 2)))
+        with pytest.raises(AIMSError):
+            DecisionTree().depth()
+
+    def test_validation(self):
+        with pytest.raises(AIMSError):
+            DecisionTree(max_depth=0)
+        with pytest.raises(AIMSError):
+            DecisionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestOneVsRestSVM:
+    def test_separable_blobs(self):
+        x, y = three_blobs()
+        model = OneVsRestSVM(c=1.0).fit(x, y)
+        assert accuracy(y, model.predict(x)) >= 0.95
+
+    def test_string_labels(self):
+        x, y = three_blobs()
+        names = np.array(["GREEN", "RED", "HELLO"])[y]
+        model = OneVsRestSVM(c=1.0).fit(x, names)
+        preds = model.predict(x)
+        assert set(preds) <= {"GREEN", "RED", "HELLO"}
+        assert accuracy(names, preds) >= 0.95
+
+    def test_single_class_rejected(self):
+        with pytest.raises(AIMSError):
+            OneVsRestSVM().fit(np.zeros((4, 2)), np.zeros(4))
+
+    def test_unfitted(self):
+        with pytest.raises(AIMSError):
+            OneVsRestSVM().predict(np.zeros((1, 2)))
+
+
+class TestOnAslSigns:
+    def test_classical_learners_competitive_on_isolated_signs(self):
+        """The [28]-era result: with whole-motion features, batch learners
+        classify isolated signs well — the streaming setting is what they
+        cannot do."""
+        from repro.sensors.asl import ASL_VOCABULARY, synthesize_sign
+
+        rng = np.random.default_rng(3)
+        signs = ASL_VOCABULARY[:5]
+        x_train, y_train, x_test, y_test = [], [], [], []
+        for spec in signs:
+            for i in range(8):
+                feats = motion_features(synthesize_sign(spec, rng).frames)
+                if i < 5:
+                    x_train.append(feats)
+                    y_train.append(spec.name)
+                else:
+                    x_test.append(feats)
+                    y_test.append(spec.name)
+        x_train, x_test = np.array(x_train), np.array(x_test)
+        y_train, y_test = np.array(y_train), np.array(y_test)
+        for model in (GaussianNaiveBayes(), DecisionTree(max_depth=8)):
+            model.fit(x_train, y_train)
+            assert accuracy(y_test, model.predict(x_test)) >= 0.7

@@ -1,0 +1,77 @@
+"""Tests for the MLP baseline (repro.analysis.mlp)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AIMSError
+from repro.analysis.mlp import MLPClassifier
+from repro.analysis.validation import accuracy
+
+
+def blobs3(n=120, gap=3.5, seed=0):
+    rng = np.random.default_rng(seed)
+    centres = np.array([[0, 0], [gap, 0], [0, gap]], dtype=float)
+    x = np.vstack([rng.normal(size=(n // 3, 2)) + c for c in centres])
+    y = np.repeat(np.arange(3), n // 3)
+    return x, y
+
+
+class TestMLP:
+    def test_separable_blobs(self):
+        x, y = blobs3()
+        model = MLPClassifier(hidden=16, epochs=150, seed=1).fit(x, y)
+        assert accuracy(y, model.predict(x)) >= 0.95
+
+    def test_xor_nonlinearity(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, size=(300, 2))
+        y = (x[:, 0] * x[:, 1] > 0).astype(int)
+        model = MLPClassifier(hidden=24, epochs=400, lr=0.1, seed=3).fit(x, y)
+        assert accuracy(y, model.predict(x)) >= 0.9
+
+    def test_probabilities_normalized(self):
+        x, y = blobs3()
+        model = MLPClassifier(epochs=50).fit(x, y)
+        probs = model.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(probs >= 0)
+
+    def test_string_labels(self):
+        x, y = blobs3()
+        names = np.array(["A", "B", "C"])[y]
+        model = MLPClassifier(epochs=100, seed=4).fit(x, names)
+        assert set(model.predict(x)) <= {"A", "B", "C"}
+
+    def test_deterministic(self):
+        x, y = blobs3()
+        a = MLPClassifier(epochs=30, seed=5).fit(x, y).predict_proba(x)
+        b = MLPClassifier(epochs=30, seed=5).fit(x, y).predict_proba(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_isolated_sign_features(self):
+        """The [28] setting: MLP over whole-motion features of ASL signs."""
+        from repro.analysis.classical import motion_features
+        from repro.sensors.asl import ASL_VOCABULARY, synthesize_sign
+
+        rng = np.random.default_rng(6)
+        signs = ASL_VOCABULARY[:4]
+        x, y = [], []
+        for spec in signs:
+            for _ in range(10):
+                x.append(motion_features(synthesize_sign(spec, rng).frames))
+                y.append(spec.name)
+        x, y = np.array(x), np.array(y)
+        model = MLPClassifier(hidden=24, epochs=200, seed=7).fit(x[::2], y[::2])
+        assert accuracy(y[1::2], model.predict(x[1::2])) >= 0.8
+
+    def test_validation(self):
+        with pytest.raises(AIMSError):
+            MLPClassifier(hidden=0)
+        with pytest.raises(AIMSError):
+            MLPClassifier(lr=0.0)
+        with pytest.raises(AIMSError):
+            MLPClassifier(momentum=1.0)
+        with pytest.raises(AIMSError):
+            MLPClassifier().predict(np.zeros((1, 2)))
+        with pytest.raises(AIMSError):
+            MLPClassifier().fit(np.zeros((4, 2)), np.zeros(4))

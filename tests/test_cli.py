@@ -1,0 +1,68 @@
+"""Tests for the command-line front end (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_glove_defaults(self):
+        args = build_parser().parse_args(["glove"])
+        assert args.command == "glove"
+        assert args.sampler == "adaptive"
+        assert args.duration == 10.0
+
+    def test_bad_sampler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["glove", "--sampler", "psychic"])
+
+    def test_seed_global(self):
+        args = build_parser().parse_args(["--seed", "7", "info"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "AIMS" in out
+        assert "28 sensors" in out
+
+    def test_glove(self, capsys):
+        assert main(["glove", "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "NRMSE" in out
+        assert "adaptive" in out
+
+    def test_adhd(self, capsys):
+        assert main(["adhd", "--subjects", "6", "--duration", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "SVM" in out
+        assert "%" in out
+
+    def test_asl(self, capsys):
+        assert main(["asl", "--signs", "GREEN", "RED"]) == 0
+        out = capsys.readouterr().out
+        assert "truth" in out
+        assert "GREEN" in out
+
+    def test_asl_unknown_sign(self, capsys):
+        assert main(["asl", "--signs", "WINGDING"]) == 2
+        assert "unknown signs" in capsys.readouterr().err
+
+    def test_olap(self, capsys):
+        assert main(["olap"]) == 0
+        out = capsys.readouterr().out
+        assert "progressive COUNT" in out
+        assert "guarantee" in out
+
+    def test_report(self, capsys):
+        # Results exist after any benchmark run; the command aggregates
+        # them (or exits 1 with guidance when absent).
+        code = main(["report"])
+        out, err = capsys.readouterr().out, capsys.readouterr().err
+        assert code in (0, 1)

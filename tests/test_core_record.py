@@ -1,0 +1,96 @@
+"""Tests for the immersidata record schema (repro.core.record)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.record import (
+    RECORD_FIELDS,
+    ImmersidataRecord,
+    records_to_relation,
+)
+
+
+def make_record(sensor_id=1, t=0.5, **kw):
+    defaults = dict(x=1.0, y=2.0, z=3.0, h=10.0, p=-5.0, r=0.0)
+    defaults.update(kw)
+    return ImmersidataRecord(sensor_id=sensor_id, timestamp=t, **defaults)
+
+
+class TestRecord:
+    def test_eight_dimensions(self):
+        """§2.1: 'the data set in general has 8 dimensions'."""
+        assert len(RECORD_FIELDS) == 8
+        assert RECORD_FIELDS[0] == "sensor_id"
+        assert RECORD_FIELDS[1] == "timestamp"
+
+    def test_as_tuple_order(self):
+        record = make_record()
+        assert record.as_tuple() == (1.0, 0.5, 1.0, 2.0, 3.0, 10.0, -5.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            make_record(sensor_id=-1)
+        with pytest.raises(SchemaError):
+            make_record(t=-0.1)
+        with pytest.raises(SchemaError):
+            make_record(h=400.0)
+
+
+class TestRecordsToRelation:
+    def _records(self, n=50, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            make_record(
+                sensor_id=int(rng.integers(0, 4)),
+                t=float(i) * 0.01,
+                x=float(rng.normal()),
+                y=float(rng.normal()),
+                z=float(rng.normal()),
+            )
+            for i, __ in enumerate(range(n))
+        ]
+
+    def test_shapes_and_domains(self):
+        records = self._records()
+        relation, shape, scales = records_to_relation(
+            records, ("sensor_id", "timestamp", "x"),
+            bins={"sensor_id": 4, "timestamp": 16, "x": 8},
+        )
+        assert relation.shape == (50, 3)
+        assert shape == (4, 16, 8)
+        assert np.all(relation >= 0)
+        for d, size in enumerate(shape):
+            assert relation[:, d].max() < size
+
+    def test_sensor_id_not_quantized(self):
+        records = self._records()
+        relation, __, scales = records_to_relation(
+            records, ("sensor_id",), bins={"sensor_id": 4}
+        )
+        original = [r.sensor_id for r in records]
+        assert relation[:, 0].tolist() == original
+        assert scales["sensor_id"] == (0.0, 1.0)
+
+    def test_dequantization_accuracy(self):
+        records = self._records()
+        relation, __, scales = records_to_relation(
+            records, ("x",), bins={"x": 64}
+        )
+        lo, step = scales["x"]
+        restored = lo + relation[:, 0] * step
+        original = np.array([r.x for r in records])
+        assert np.max(np.abs(restored - original)) <= step / 2 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            records_to_relation([], ("x",), {"x": 4})
+        records = self._records(5)
+        with pytest.raises(SchemaError):
+            records_to_relation(records, ("wingspan",), {"wingspan": 4})
+        with pytest.raises(SchemaError):
+            records_to_relation(records, ("x",), {})
+        with pytest.raises(SchemaError):
+            records_to_relation(records, ("x",), {"x": 1})
+        with pytest.raises(SchemaError):
+            records_to_relation(records, ("sensor_id",), {"sensor_id": 2})

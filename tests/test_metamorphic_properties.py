@@ -1,0 +1,162 @@
+"""Metamorphic properties of the query stack.
+
+These tests encode algebraic identities that must hold for *any* data and
+*any* query — the strongest correctness net available for a query engine:
+
+* additivity: a range split into disjoint parts sums to the whole;
+* linearity: scaling the cube scales every answer;
+* monotonicity: COUNT over a sub-range never exceeds the superset's;
+* translation consistency between measures: SUM(x + c) == SUM(x) + c*COUNT;
+* engine equivalences: ProPolyne == dense == packet-basis == hybrid.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.propolyne import ProPolyneEngine
+from repro.query.rangesum import RangeSumQuery, evaluate_on_cube
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return np.abs(np.random.default_rng(231).normal(size=(32, 32))) + 0.2
+
+
+@pytest.fixture(scope="module")
+def engine(cube):
+    return ProPolyneEngine(cube, max_degree=2, block_size=7)
+
+
+class TestAdditivity:
+    @settings(max_examples=25, deadline=None)
+    @given(split=st.integers(1, 30), lo=st.integers(0, 10), hi=st.integers(20, 31))
+    def test_range_splitting(self, cube, engine, split, lo, hi):
+        if not lo < split <= hi:
+            return
+        whole = engine.evaluate_exact(
+            RangeSumQuery.count([(lo, hi), (0, 31)])
+        )
+        left = engine.evaluate_exact(
+            RangeSumQuery.count([(lo, split - 1), (0, 31)])
+        )
+        right = engine.evaluate_exact(
+            RangeSumQuery.count([(split, hi), (0, 31)])
+        )
+        assert left + right == pytest.approx(whole, rel=1e-8, abs=1e-8)
+
+    def test_full_partition(self, cube, engine):
+        parts = [
+            engine.evaluate_exact(
+                RangeSumQuery.count([(8 * g, 8 * g + 7), (0, 31)])
+            )
+            for g in range(4)
+        ]
+        assert sum(parts) == pytest.approx(float(cube.sum()))
+
+
+class TestLinearity:
+    def test_cube_scaling(self, cube):
+        a = ProPolyneEngine(cube, max_degree=1, block_size=7)
+        b = ProPolyneEngine(3.0 * cube, max_degree=1, block_size=7)
+        q = RangeSumQuery.weighted([(3, 29), (5, 27)], {0: 1})
+        assert b.evaluate_exact(q) == pytest.approx(3.0 * a.evaluate_exact(q))
+
+    def test_cube_superposition(self, cube):
+        other = np.abs(np.random.default_rng(232).normal(size=cube.shape))
+        q = RangeSumQuery.count([(2, 30), (4, 28)])
+        sum_engine = ProPolyneEngine(cube + other, max_degree=0, block_size=7)
+        a = ProPolyneEngine(cube, max_degree=0, block_size=7)
+        b = ProPolyneEngine(other, max_degree=0, block_size=7)
+        assert sum_engine.evaluate_exact(q) == pytest.approx(
+            a.evaluate_exact(q) + b.evaluate_exact(q)
+        )
+
+
+class TestMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        lo=st.integers(0, 20),
+        hi=st.integers(21, 31),
+        shrink=st.integers(1, 8),
+    )
+    def test_count_subrange(self, engine, lo, hi, shrink):
+        if lo + shrink >= hi:
+            return
+        outer = engine.evaluate_exact(RangeSumQuery.count([(lo, hi), (0, 31)]))
+        inner = engine.evaluate_exact(
+            RangeSumQuery.count([(lo + shrink, hi), (0, 31)])
+        )
+        # Nonnegative cube: shrinking the range cannot grow the count.
+        assert inner <= outer + 1e-8
+
+
+class TestMeasureTranslation:
+    def test_sum_shift_identity(self, engine):
+        """SUM(x + 5) == SUM(x) + 5 * COUNT — polynomial algebra must
+        commute with the wavelet-domain evaluation."""
+        ranges = ((4, 27), (6, 25))
+        shifted = RangeSumQuery(
+            ranges=ranges, polys=((5.0, 1.0), (1.0,))
+        )
+        plain = RangeSumQuery.weighted(list(ranges), {0: 1})
+        count = RangeSumQuery.count(list(ranges))
+        assert engine.evaluate_exact(shifted) == pytest.approx(
+            engine.evaluate_exact(plain) + 5 * engine.evaluate_exact(count)
+        )
+
+    def test_square_expansion(self, engine):
+        """SUM((x+1)^2) == SUM(x^2) + 2 SUM(x) + COUNT."""
+        ranges = ((2, 29), (3, 30))
+        expanded = RangeSumQuery(
+            ranges=ranges, polys=((1.0, 2.0, 1.0), (1.0,))
+        )
+        s2 = engine.evaluate_exact(RangeSumQuery.weighted(list(ranges), {0: 2}))
+        s1 = engine.evaluate_exact(RangeSumQuery.weighted(list(ranges), {0: 1}))
+        c = engine.evaluate_exact(RangeSumQuery.count(list(ranges)))
+        assert engine.evaluate_exact(expanded) == pytest.approx(
+            s2 + 2 * s1 + c, rel=1e-7
+        )
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        lo1=st.integers(0, 25), w1=st.integers(2, 20),
+        lo2=st.integers(0, 25), w2=st.integers(2, 20),
+    )
+    def test_propolyne_vs_dense_vs_packet(self, cube, engine, lo1, w1, lo2, w2):
+        from repro.query.packet_engine import PacketBasisEngine
+
+        q = RangeSumQuery.count(
+            [(lo1, min(31, lo1 + w1)), (lo2, min(31, lo2 + w2))]
+        )
+        dense = evaluate_on_cube(cube, q)
+        assert engine.evaluate_exact(q) == pytest.approx(dense, rel=1e-7)
+        packet = PacketBasisEngine(cube, wavelet="db2")
+        assert packet.evaluate_exact(q) == pytest.approx(dense, rel=1e-7)
+
+    def test_hybrid_equals_pure_on_every_partition(self):
+        from repro.query.hybrid import HybridEngine
+        from repro.query.rangesum import relation_to_cube
+
+        rng = np.random.default_rng(233)
+        rows = np.column_stack(
+            [
+                rng.integers(0, 4, size=150),
+                rng.integers(0, 32, size=150),
+                rng.integers(0, 16, size=150),
+            ]
+        )
+        shape = (4, 32, 16)
+        hybrid = HybridEngine(rows, shape, standard_dims=(0,), max_degree=1)
+        pure = ProPolyneEngine(
+            relation_to_cube(rows, shape), max_degree=1, block_size=7
+        )
+        for sensor in range(4):
+            h, _ = hybrid.query({0: {sensor}}, [(3, 28), (2, 13)])
+            p = pure.evaluate_exact(
+                RangeSumQuery.count([(sensor, sensor), (3, 28), (2, 13)])
+            )
+            assert h == pytest.approx(p)

@@ -1,0 +1,258 @@
+"""Tests for vocabulary, isolation heuristic, stream recognizer, and the
+SVD-from-range-sums reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import RecognitionError
+from repro.online.isolation import EvidenceAccumulator
+from repro.online.recognizer import (
+    RecognizerConfig,
+    StreamRecognizer,
+    classify_instance,
+)
+from repro.online.similarity import weighted_svd_similarity
+from repro.online.svd_propolyne import (
+    covariance_matrix_via_propolyne,
+    quantize_channels,
+    spectrum_via_propolyne,
+)
+from repro.online.vocabulary import MotionVocabulary
+from repro.sensors.asl import ASL_VOCABULARY, synthesize_session, synthesize_sign
+from repro.sensors.noise import NoiseModel
+
+
+RNG_SEED = 101
+
+
+def build_vocabulary(sign_indices, n_train=4, seed=RNG_SEED):
+    rng = np.random.default_rng(seed)
+    training = {}
+    for idx in sign_indices:
+        spec = ASL_VOCABULARY[idx]
+        training[spec.name] = [
+            synthesize_sign(spec, rng).frames for _ in range(n_train)
+        ]
+    return MotionVocabulary.from_instances(training), training
+
+
+class TestVocabulary:
+    def test_from_instances(self):
+        vocab, _ = build_vocabulary([0, 5, 7])
+        assert len(vocab) == 3
+        assert vocab.width == 28
+        assert set(vocab.names()) == {"A", "GREEN", "RED"}
+
+    def test_entry_lookup(self):
+        vocab, _ = build_vocabulary([0, 5])
+        assert vocab.entry("GREEN").name == "GREEN"
+        with pytest.raises(RecognitionError):
+            vocab.entry("PURPLE")
+
+    def test_mean_duration_recorded(self):
+        vocab, training = build_vocabulary([5])
+        entry = vocab.entry("GREEN")
+        lengths = [m.shape[0] for m in training["GREEN"]]
+        assert entry.mean_duration == pytest.approx(np.mean(lengths))
+
+    def test_validation(self):
+        with pytest.raises(RecognitionError):
+            MotionVocabulary([])
+        with pytest.raises(RecognitionError):
+            MotionVocabulary.from_instances({"X": []})
+
+    def test_similarity_against_own_training(self):
+        vocab, training = build_vocabulary([5, 7])
+        from repro.online.similarity import motion_spectrum
+
+        inst = training["GREEN"][0]
+        values, vectors = motion_spectrum(inst)
+        own = vocab.similarity(values, vectors, vocab.entry("GREEN"))
+        other = vocab.similarity(values, vectors, vocab.entry("RED"))
+        assert own > other
+
+
+class TestClassifyInstance:
+    def test_high_accuracy_on_fresh_instances(self):
+        indices = [0, 1, 5, 7, 9]
+        vocab, training = build_vocabulary(indices)
+        templates = {name: mats[0] for name, mats in training.items()}
+        rng = np.random.default_rng(777)
+        correct = 0
+        total = 0
+        for idx in indices:
+            spec = ASL_VOCABULARY[idx]
+            for _ in range(6):
+                inst = synthesize_sign(spec, rng).frames
+                label = classify_instance(
+                    inst, vocab, weighted_svd_similarity, templates
+                )
+                correct += label == spec.name
+                total += 1
+        assert correct / total >= 0.8
+
+    def test_missing_templates_rejected(self):
+        vocab, training = build_vocabulary([0, 5])
+        inst = training["A"][0]
+        with pytest.raises(RecognitionError):
+            classify_instance(inst, vocab, weighted_svd_similarity, None)
+        with pytest.raises(RecognitionError):
+            classify_instance(
+                inst, vocab, weighted_svd_similarity, {"A": inst}
+            )
+
+
+class TestEvidenceAccumulator:
+    def test_accumulates_and_declares(self):
+        acc = EvidenceAccumulator(["a", "b"], declare_threshold=0.5, decline_steps=2)
+        detection = None
+        # Sign "a" strongly present for a while, then gone.
+        for i in range(6):
+            detection = acc.observe({"a": 0.9, "b": 0.3}, frame_index=i)
+            assert detection is None
+        for i in range(6, 12):
+            detection = acc.observe({"a": 0.5, "b": 0.5}, frame_index=i)
+            if detection:
+                break
+        assert detection is not None
+        assert detection.name == "a"
+        assert detection.start == 0
+
+    def test_reset_after_detection(self):
+        acc = EvidenceAccumulator(["a", "b"], declare_threshold=0.5, decline_steps=1)
+        for i in range(5):
+            acc.observe({"a": 0.9, "b": 0.1}, i)
+        detection = None
+        i = 5
+        while detection is None and i < 20:
+            detection = acc.observe({"a": 0.5, "b": 0.5}, i)
+            i += 1
+        assert detection is not None
+        assert all(v == 0.0 for v in acc.evidence.values())
+
+    def test_absent_patterns_accumulate_nothing(self):
+        acc = EvidenceAccumulator(["a", "b", "c"])
+        for i in range(10):
+            acc.observe({"a": 0.9, "b": 0.2, "c": 0.2}, i)
+        evidence = acc.evidence
+        assert evidence["a"] > 1.0
+        assert evidence["b"] == 0.0  # clipped at zero, never in debt
+
+    def test_no_declaration_below_threshold(self):
+        acc = EvidenceAccumulator(["a", "b"], declare_threshold=100.0)
+        for i in range(50):
+            assert acc.observe({"a": 0.9, "b": 0.1}, i) is None
+
+    def test_validation(self):
+        with pytest.raises(RecognitionError):
+            EvidenceAccumulator([])
+        with pytest.raises(RecognitionError):
+            EvidenceAccumulator(["a"], declare_threshold=0.0)
+        acc = EvidenceAccumulator(["a", "b"])
+        with pytest.raises(RecognitionError):
+            acc.observe({"a": 1.0}, 0)
+
+
+class TestStreamRecognizer:
+    def _run_session(self, sign_indices, sequence_indices, seed=5):
+        vocab, _ = build_vocabulary(sign_indices)
+        rng = np.random.default_rng(seed)
+        sequence = [ASL_VOCABULARY[i] for i in sequence_indices]
+        frames, segments = synthesize_session(
+            sequence, rng, gap_duration=0.8
+        )
+        recognizer = StreamRecognizer(
+            vocab,
+            RecognizerConfig(
+                window=50, compare_every=10,
+                declare_threshold=0.4, decline_steps=3,
+            ),
+        )
+        # Calibrate on the leading neutral gap.
+        recognizer.calibrate_rest(frames[: segments[0].start])
+        detections = recognizer.process(frames)
+        return detections, segments
+
+    def test_detects_signs_in_stream(self):
+        detections, segments = self._run_session([5, 7, 9], [5, 7, 9, 5])
+        assert len(detections) >= 3
+        detected_names = [d.name for d in detections]
+        truth_names = [s.name for s in segments]
+        # Most detections should match the ground-truth sequence order.
+        matches = sum(
+            1 for d, t in zip(detected_names, truth_names) if d == t
+        )
+        assert matches >= len(truth_names) - 2
+
+    def test_detections_ordered_in_time(self):
+        detections, _ = self._run_session([5, 7], [5, 7, 5])
+        ends = [d.end for d in detections]
+        assert ends == sorted(ends)
+
+    def test_requires_rest_calibration(self):
+        vocab, _ = build_vocabulary([0, 5])
+        recognizer = StreamRecognizer(vocab)
+        with pytest.raises(RecognitionError):
+            recognizer.process([np.zeros(28)])
+
+    def test_frame_width_checked(self):
+        vocab, _ = build_vocabulary([0, 5])
+        recognizer = StreamRecognizer(vocab, rest_energy=1.0)
+        with pytest.raises(RecognitionError):
+            recognizer.process([np.zeros(5)])
+
+    def test_config_validated(self):
+        vocab, _ = build_vocabulary([0])
+        with pytest.raises(RecognitionError):
+            StreamRecognizer(vocab, RecognizerConfig(window=2))
+        with pytest.raises(RecognitionError):
+            StreamRecognizer(vocab, RecognizerConfig(compare_every=0))
+
+
+class TestSvdViaPropolyne:
+    def test_quantization_roundtrip(self):
+        matrix = np.random.default_rng(0).normal(size=(50, 3)) * 10
+        bins, lo, steps = quantize_channels(matrix, n_bins=64)
+        restored = lo[None, :] + bins * steps[None, :]
+        assert np.max(np.abs(restored - matrix)) <= np.max(steps) / 2 + 1e-9
+
+    def test_covariance_matches_direct(self):
+        """The E9 identity: range-sum covariance == direct covariance of
+        the quantized signal, to machine precision."""
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=(60, 1))
+        matrix = np.hstack([base, 0.5 * base + rng.normal(size=(60, 1)) * 0.2,
+                            rng.normal(size=(60, 1))])
+        n_bins = 16
+        bins, lo, steps = quantize_channels(matrix, n_bins)
+        quantized = lo[None, :] + bins * steps[None, :]
+        direct = np.cov(quantized.T, bias=True)
+        via_propolyne = covariance_matrix_via_propolyne(matrix, n_bins)
+        np.testing.assert_allclose(via_propolyne, direct, atol=1e-8)
+
+    def test_spectrum_supports_similarity(self):
+        """Similarity computed from range-sum spectra still separates
+        signs — the 'port recognition onto ProPolyne' claim."""
+        rng = np.random.default_rng(11)
+        quiet_noise = NoiseModel(white_sigma=0.3)
+        a1 = synthesize_sign(ASL_VOCABULARY[5], rng, noise=quiet_noise).frames
+        a2 = synthesize_sign(ASL_VOCABULARY[5], rng, noise=quiet_noise).frames
+        b = synthesize_sign(ASL_VOCABULARY[7], rng, noise=quiet_noise).frames
+        # Use a sensor subset to keep the pairwise cube count small.
+        cols = [0, 4, 21, 25, 27]
+        va, ua = spectrum_via_propolyne(a1[:, cols], n_bins=16)
+        vb, ub = spectrum_via_propolyne(a2[:, cols], n_bins=16)
+        vc, uc = spectrum_via_propolyne(b[:, cols], n_bins=16)
+
+        def sim(v1, u1, v2, u2):
+            w = np.abs(v1) + np.abs(v2)
+            w = w / w.sum()
+            return float(np.dot(w, np.abs(np.sum(u1 * u2, axis=0))))
+
+        assert sim(va, ua, vb, ub) > sim(va, ua, vc, uc)
+
+    def test_validation(self):
+        with pytest.raises(RecognitionError):
+            quantize_channels(np.ones(5), 8)
+        with pytest.raises(RecognitionError):
+            quantize_channels(np.ones((10, 2)), 1)

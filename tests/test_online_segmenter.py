@@ -1,0 +1,89 @@
+"""Tests for the standalone burst segmenter (repro.online.segmenter)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import RecognitionError
+from repro.online.segmenter import Burst, BurstSegmenter, segment_bursts
+from repro.sensors.asl import ASL_VOCABULARY, synthesize_session
+
+
+def make_session(seed=0, n_signs=4):
+    rng = np.random.default_rng(seed)
+    signs = [ASL_VOCABULARY[i] for i in (5, 7, 9, 0)][:n_signs]
+    return synthesize_session(signs, rng, gap_duration=0.8)
+
+
+class TestSegmentation:
+    def test_finds_one_burst_per_sign(self):
+        frames, segments = make_session()
+        rest = frames[: segments[0].start]
+        bursts = segment_bursts(frames, rest)
+        assert len(bursts) == len(segments)
+
+    def test_bursts_overlap_ground_truth(self):
+        frames, segments = make_session(seed=1)
+        rest = frames[: segments[0].start]
+        bursts = segment_bursts(frames, rest)
+        for burst, seg in zip(bursts, segments):
+            assert burst.overlaps(seg.start, seg.end)
+
+    def test_bursts_ordered_and_disjoint(self):
+        frames, segments = make_session(seed=2)
+        bursts = segment_bursts(frames, frames[: segments[0].start])
+        for a, b in zip(bursts, bursts[1:]):
+            assert a.end <= b.start
+
+    def test_pure_rest_yields_nothing(self):
+        frames, segments = make_session(seed=3)
+        rest = frames[: segments[0].start]
+        long_rest = np.tile(rest, (8, 1))
+        assert segment_bursts(long_rest, rest) == []
+
+    def test_min_length_filters_blips(self):
+        rng = np.random.default_rng(4)
+        rest = rng.normal(0, 0.1, size=(100, 4))
+        stream = rng.normal(0, 0.1, size=(300, 4))
+        stream[150:153] += 20.0  # 3-frame glitch
+        # threshold=6: low-dimensional activity is chi^2-ish, so a 3x
+        # threshold would fire on plain noise now and then.
+        bursts = segment_bursts(
+            stream, rest, min_length=10, smoothing=1, threshold=6.0
+        )
+        assert bursts == []
+
+    def test_trailing_burst_closed_at_stream_end(self):
+        rng = np.random.default_rng(5)
+        rest = rng.normal(0, 0.1, size=(100, 4))
+        stream = np.vstack([
+            rng.normal(0, 0.1, size=(100, 4)),
+            rng.normal(0, 0.1, size=(60, 4)) + 15.0,
+        ])
+        bursts = segment_bursts(stream, rest)
+        assert len(bursts) == 1
+        assert bursts[-1].end == stream.shape[0]
+
+
+class TestBurst:
+    def test_length_and_overlap(self):
+        burst = Burst(start=10, end=30)
+        assert burst.length == 20
+        assert burst.overlaps(25, 40)
+        assert not burst.overlaps(30, 40)  # half-open intervals
+
+
+class TestValidation:
+    def test_calibration_validation(self):
+        with pytest.raises(RecognitionError):
+            BurstSegmenter.calibrate(np.zeros(5))
+        with pytest.raises(RecognitionError):
+            BurstSegmenter(np.zeros(4), rest_energy=0.0)
+        with pytest.raises(RecognitionError):
+            BurstSegmenter(np.zeros(4), rest_energy=1.0, threshold=0.5)
+        with pytest.raises(RecognitionError):
+            BurstSegmenter(np.zeros(4), rest_energy=1.0, smoothing=0)
+
+    def test_width_mismatch(self):
+        seg = BurstSegmenter(np.zeros(4), rest_energy=1.0)
+        with pytest.raises(RecognitionError):
+            seg.segment(np.zeros((10, 5)))

@@ -1,0 +1,199 @@
+"""Tests for similarity measures and incremental SVD."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import RecognitionError
+from repro.online.incsvd import IncrementalMotionSpectrum
+from repro.online.similarity import (
+    SIMILARITY_MEASURES,
+    dft_similarity,
+    dwt_similarity,
+    euclidean_similarity,
+    motion_spectrum,
+    weighted_svd_similarity,
+)
+from repro.sensors.asl import ASL_VOCABULARY, synthesize_sign
+from repro.sensors.noise import NoiseModel
+
+
+RNG = np.random.default_rng(91)
+
+
+def sign_instance(index, seed):
+    return synthesize_sign(
+        ASL_VOCABULARY[index], np.random.default_rng(seed)
+    ).frames
+
+
+class TestMotionSpectrum:
+    def test_matches_svd(self):
+        matrix = RNG.normal(size=(50, 6))
+        values, vectors = motion_spectrum(matrix)
+        centred = matrix - matrix.mean(axis=0)
+        _, s, vt = np.linalg.svd(centred, full_matrices=False)
+        np.testing.assert_allclose(values, (s**2) / 50, atol=1e-9)
+        for i in range(3):
+            dot = abs(np.dot(vectors[:, i], vt[i]))
+            assert dot == pytest.approx(1.0, abs=1e-7)
+
+    def test_eigenvalues_sorted(self):
+        values, _ = motion_spectrum(RNG.normal(size=(30, 5)))
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(RecognitionError):
+            motion_spectrum(np.ones(5))
+        with pytest.raises(RecognitionError):
+            motion_spectrum(np.ones((1, 5)))
+
+
+class TestWeightedSvdSimilarity:
+    def test_self_similarity_is_one(self):
+        matrix = RNG.normal(size=(40, 8))
+        assert weighted_svd_similarity(matrix, matrix) == pytest.approx(1.0)
+
+    def test_bounded(self):
+        a = sign_instance(0, 1)
+        b = sign_instance(5, 2)
+        sim = weighted_svd_similarity(a, b)
+        assert 0.0 <= sim <= 1.0
+
+    def test_length_invariance(self):
+        """Two instances of a sign with different durations still match —
+        the property Euclidean distance lacks (§3.4.2)."""
+        a = sign_instance(5, 10)
+        b = sign_instance(5, 11)
+        assert a.shape[0] != b.shape[0]
+        assert weighted_svd_similarity(a, b) > 0.8
+
+    def test_same_sign_beats_different_sign(self):
+        same = weighted_svd_similarity(sign_instance(5, 1), sign_instance(5, 2))
+        diff = weighted_svd_similarity(sign_instance(5, 1), sign_instance(7, 2))
+        assert same > diff
+
+    def test_sign_flip_invariance(self):
+        """Eigenvector sign ambiguity must not hurt similarity."""
+        matrix = RNG.normal(size=(60, 4))
+        flipped = -matrix
+        assert weighted_svd_similarity(matrix, flipped) == pytest.approx(1.0)
+
+    def test_sensor_mismatch_rejected(self):
+        with pytest.raises(RecognitionError):
+            weighted_svd_similarity(
+                RNG.normal(size=(20, 4)), RNG.normal(size=(20, 5))
+            )
+
+    def test_component_count_validated(self):
+        matrix = RNG.normal(size=(20, 4))
+        with pytest.raises(RecognitionError):
+            weighted_svd_similarity(matrix, matrix, n_components=0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_symmetry_property(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(30, 5))
+        b = rng.normal(size=(45, 5))
+        assert weighted_svd_similarity(a, b) == pytest.approx(
+            weighted_svd_similarity(b, a)
+        )
+
+
+class TestBaselineMeasures:
+    @pytest.mark.parametrize(
+        "measure", [euclidean_similarity, dft_similarity, dwt_similarity]
+    )
+    def test_self_similarity_high(self, measure):
+        matrix = RNG.normal(size=(50, 6))
+        assert measure(matrix, matrix) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize(
+        "measure", [euclidean_similarity, dft_similarity, dwt_similarity]
+    )
+    def test_bounded(self, measure):
+        a = sign_instance(0, 3)
+        b = sign_instance(9, 4)
+        assert 0.0 <= measure(a, b) <= 1.0
+
+    @pytest.mark.parametrize(
+        "measure", [euclidean_similarity, dft_similarity, dwt_similarity]
+    )
+    def test_variable_lengths_accepted(self, measure):
+        a = RNG.normal(size=(37, 6))
+        b = RNG.normal(size=(81, 6))
+        measure(a, b)  # must not raise
+
+    def test_registry_complete(self):
+        assert set(SIMILARITY_MEASURES) == {
+            "weighted_svd", "euclidean", "dft", "dwt", "dtw", "dft2", "dwt2",
+        }
+
+
+class TestIncrementalSpectrum:
+    def test_matches_batch_covariance(self):
+        frames = RNG.normal(size=(100, 6))
+        inc = IncrementalMotionSpectrum(6)
+        for frame in frames:
+            inc.add(frame)
+        batch_cov = np.cov(frames.T, bias=True)
+        np.testing.assert_allclose(inc.covariance(), batch_cov, atol=1e-9)
+
+    def test_remove_matches_window(self):
+        frames = RNG.normal(size=(100, 4))
+        inc = IncrementalMotionSpectrum(4)
+        window = 30
+        for i, frame in enumerate(frames):
+            inc.add(frame)
+            if i >= window:
+                inc.remove(frames[i - window])
+        expected = np.cov(frames[-window:].T, bias=True)
+        np.testing.assert_allclose(inc.covariance(), expected, atol=1e-8)
+
+    def test_spectrum_sorted(self):
+        inc = IncrementalMotionSpectrum(5)
+        for frame in RNG.normal(size=(50, 5)):
+            inc.add(frame)
+        values, vectors = inc.spectrum()
+        assert np.all(np.diff(values) <= 1e-12)
+        assert vectors.shape == (5, 5)
+
+    def test_mean_tracking(self):
+        frames = RNG.normal(size=(40, 3)) + 5.0
+        inc = IncrementalMotionSpectrum(3)
+        for frame in frames:
+            inc.add(frame)
+        np.testing.assert_allclose(inc.mean, frames.mean(axis=0), atol=1e-10)
+
+    def test_remove_to_empty_resets(self):
+        inc = IncrementalMotionSpectrum(2)
+        frame = np.array([1.0, 2.0])
+        inc.add(frame)
+        inc.remove(frame)
+        assert len(inc) == 0
+        with pytest.raises(RecognitionError):
+            inc.covariance()
+
+    def test_validation(self):
+        with pytest.raises(RecognitionError):
+            IncrementalMotionSpectrum(0)
+        inc = IncrementalMotionSpectrum(3)
+        with pytest.raises(RecognitionError):
+            inc.add(np.zeros(4))
+        with pytest.raises(RecognitionError):
+            inc.remove(np.zeros(4))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 300), window=st.integers(5, 40))
+    def test_sliding_window_property(self, seed, window):
+        rng = np.random.default_rng(seed)
+        frames = rng.normal(size=(window + 30, 3))
+        inc = IncrementalMotionSpectrum(3)
+        for i, frame in enumerate(frames):
+            inc.add(frame)
+            if i >= window:
+                inc.remove(frames[i - window])
+        expected = np.cov(frames[-window:].T, bias=True)
+        np.testing.assert_allclose(inc.covariance(), expected, atol=1e-7)

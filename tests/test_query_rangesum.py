@@ -1,0 +1,110 @@
+"""Tests for range-sum query definitions and the dense reference evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError
+from repro.query.rangesum import RangeSumQuery, evaluate_on_cube, relation_to_cube
+
+
+RNG = np.random.default_rng(53)
+
+
+class TestRangeSumQuery:
+    def test_count_constructor(self):
+        q = RangeSumQuery.count([(0, 5), (2, 9)])
+        assert q.ndim == 2
+        assert q.polys == ((1.0,), (1.0,))
+        assert q.max_degree == 0
+
+    def test_weighted_constructor(self):
+        q = RangeSumQuery.weighted([(0, 5), (0, 5)], {1: 2})
+        assert q.polys == ((1.0,), (0.0, 0.0, 1.0))
+        assert q.max_degree == 2
+
+    def test_cross_term(self):
+        q = RangeSumQuery.weighted([(0, 3), (0, 3)], {0: 1, 1: 1})
+        assert q.polys == ((0.0, 1.0), (0.0, 1.0))
+
+    def test_empty_range_detection(self):
+        assert RangeSumQuery.count([(5, 4)]).is_empty()
+        assert not RangeSumQuery.count([(4, 4)]).is_empty()
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            RangeSumQuery(ranges=())
+        with pytest.raises(QueryError):
+            RangeSumQuery(ranges=((0, 3),), polys=((1.0,), (1.0,)))
+        with pytest.raises(QueryError):
+            RangeSumQuery(ranges=((-1, 3),))
+        with pytest.raises(QueryError):
+            RangeSumQuery(ranges=((0, 3),), polys=((),))
+        with pytest.raises(QueryError):
+            RangeSumQuery.weighted([(0, 3)], {0: -1})
+
+
+class TestDenseEvaluation:
+    def test_count(self):
+        cube = np.ones((4, 4))
+        q = RangeSumQuery.count([(1, 2), (0, 3)])
+        assert evaluate_on_cube(cube, q) == pytest.approx(8.0)
+
+    def test_weighted_sum(self):
+        cube = np.ones((4,))
+        q = RangeSumQuery.weighted([(1, 3)], {0: 1})
+        assert evaluate_on_cube(cube, q) == pytest.approx(1 + 2 + 3)
+
+    def test_quadratic_measure(self):
+        cube = np.ones(8)
+        q = RangeSumQuery.weighted([(0, 3)], {0: 2})
+        assert evaluate_on_cube(cube, q) == pytest.approx(0 + 1 + 4 + 9)
+
+    def test_separable_2d(self):
+        cube = RNG.normal(size=(8, 8))
+        q = RangeSumQuery.weighted([(1, 4), (2, 6)], {0: 1})
+        expected = 0.0
+        for i in range(1, 5):
+            for j in range(2, 7):
+                expected += i * cube[i, j]
+        assert evaluate_on_cube(cube, q) == pytest.approx(expected)
+
+    def test_empty_range_is_zero(self):
+        assert evaluate_on_cube(np.ones((4,)), RangeSumQuery.count([(3, 1)])) == 0.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(QueryError):
+            evaluate_on_cube(np.ones((4, 4)), RangeSumQuery.count([(0, 3)]))
+
+    def test_range_exceeds_cube(self):
+        with pytest.raises(QueryError):
+            evaluate_on_cube(np.ones(4), RangeSumQuery.count([(0, 4)]))
+
+
+class TestRelationToCube:
+    def test_counts(self):
+        rows = np.array([[0, 1], [0, 1], [2, 3]])
+        cube = relation_to_cube(rows, (3, 4))
+        assert cube[0, 1] == 2.0
+        assert cube[2, 3] == 1.0
+        assert cube.sum() == 3.0
+
+    def test_count_query_equals_matching_rows(self):
+        rows = RNG.integers(0, 8, size=(200, 2))
+        cube = relation_to_cube(rows, (8, 8))
+        q = RangeSumQuery.count([(2, 5), (0, 7)])
+        matching = np.sum((rows[:, 0] >= 2) & (rows[:, 0] <= 5))
+        assert evaluate_on_cube(cube, q) == pytest.approx(float(matching))
+
+    def test_sum_query_equals_attribute_sum(self):
+        rows = RNG.integers(0, 8, size=(200, 2))
+        cube = relation_to_cube(rows, (8, 8))
+        q = RangeSumQuery.weighted([(0, 7), (0, 7)], {1: 1})
+        assert evaluate_on_cube(cube, q) == pytest.approx(float(rows[:, 1].sum()))
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            relation_to_cube(np.zeros((3, 2), dtype=int), (4,))
+        with pytest.raises(QueryError):
+            relation_to_cube(np.array([[-1, 0]]), (4, 4))
+        with pytest.raises(QueryError):
+            relation_to_cube(np.array([[5, 0]]), (4, 4))

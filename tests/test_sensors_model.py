@@ -1,0 +1,133 @@
+"""Tests for sensor hardware models — reproduces Table 1 structurally."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AcquisitionError, SchemaError
+from repro.sensors.model import (
+    BODY_TRACKER_SITES,
+    CYBERGLOVE_SENSORS,
+    GLOVE_RATE_HZ,
+    HAND_RIG_SENSORS,
+    POLHEMUS_CHANNELS,
+    TRACKER_CHANNEL_NAMES,
+    SensorSpec,
+    sensor_by_id,
+)
+from repro.sensors.noise import NoiseModel, snr_db
+
+
+class TestTable1:
+    """Structural reproduction of Table 1 of the paper."""
+
+    def test_twenty_two_glove_sensors(self):
+        assert len(CYBERGLOVE_SENSORS) == 22
+
+    def test_sensor_ids_are_1_to_22(self):
+        assert [s.sensor_id for s in CYBERGLOVE_SENSORS] == list(range(1, 23))
+
+    def test_table1_descriptions(self):
+        names = {s.sensor_id: s.name for s in CYBERGLOVE_SENSORS}
+        # Spot-check rows of Table 1 verbatim.
+        assert names[1] == "thumb roll sensor"
+        assert names[5] == "index inner joint"
+        assert names[15] == "ring-middle abduction"
+        assert names[20] == "palm arch"
+        assert names[21] == "wrist flexion"
+        assert names[22] == "wrist abduction"
+
+    def test_28_sensor_hand_rig(self):
+        """§2.2: 'the data from the 28 sensors capture the entirety of a
+        hand motion'."""
+        assert len(HAND_RIG_SENSORS) == 28
+        assert len(POLHEMUS_CHANNELS) == 6
+
+    def test_polhemus_channels(self):
+        names = [s.name for s in POLHEMUS_CHANNELS]
+        for axis in ("X", "Y", "Z"):
+            assert any(f"{axis} position" in n for n in names)
+        for rot in ("H", "P", "R"):
+            assert any(f"{rot} rotation" in n for n in names)
+
+    def test_sensor_clock_is_100hz(self):
+        """§2.2: samples 'at each sensor clock, which is about 0.01 second'."""
+        assert GLOVE_RATE_HZ == 100.0
+
+    def test_body_rig(self):
+        """§2.1: trackers on head, hands and legs, 6 dims each."""
+        assert set(BODY_TRACKER_SITES) >= {"head", "left_hand", "left_leg"}
+        assert TRACKER_CHANNEL_NAMES == ("X", "Y", "Z", "H", "P", "R")
+
+    def test_lookup(self):
+        assert sensor_by_id(20).name == "palm arch"
+        with pytest.raises(SchemaError):
+            sensor_by_id(99)
+
+    def test_spec_validation(self):
+        with pytest.raises(SchemaError):
+            SensorSpec(1, "bad", "deg", 10.0, 5.0, 1.0)
+        with pytest.raises(SchemaError):
+            SensorSpec(1, "bad", "deg", 0.0, 1.0, 0.0)
+
+    def test_all_frequencies_positive(self):
+        assert all(s.max_frequency_hz > 0 for s in HAND_RIG_SENSORS)
+
+
+class TestNoiseModel:
+    def test_white_noise_statistics(self):
+        rng = np.random.default_rng(0)
+        model = NoiseModel(white_sigma=2.0)
+        clean = np.zeros(20_000)
+        noisy = model.apply(clean, rng)
+        assert np.std(noisy) == pytest.approx(2.0, rel=0.05)
+
+    def test_zero_noise_identity(self):
+        model = NoiseModel(white_sigma=0.0)
+        clean = np.arange(10.0)
+        np.testing.assert_array_equal(
+            model.apply(clean, np.random.default_rng(0)), clean
+        )
+
+    def test_drift_accumulates(self):
+        rng = np.random.default_rng(1)
+        model = NoiseModel(white_sigma=0.0, drift_sigma=0.5)
+        noisy = model.apply(np.zeros(10_000), rng)
+        # Random-walk variance grows with time.
+        assert np.std(noisy[-1000:]) > np.std(noisy[:1000])
+
+    def test_spikes_present(self):
+        rng = np.random.default_rng(2)
+        model = NoiseModel(white_sigma=0.0, spike_prob=0.05, spike_scale=100.0)
+        noisy = model.apply(np.zeros(5000), rng)
+        assert np.max(np.abs(noisy)) > 50.0
+        assert np.mean(np.abs(noisy) > 10.0) < 0.2
+
+    def test_quantization(self):
+        model = NoiseModel(white_sigma=0.0, quantization_step=0.5)
+        out = model.apply(np.array([0.1, 0.3, 0.7]), np.random.default_rng(0))
+        np.testing.assert_allclose(out, [0.0, 0.5, 0.5])
+
+    def test_validation(self):
+        with pytest.raises(AcquisitionError):
+            NoiseModel(white_sigma=-1.0)
+        with pytest.raises(AcquisitionError):
+            NoiseModel(spike_prob=1.5)
+        with pytest.raises(AcquisitionError):
+            NoiseModel(quantization_step=-0.1)
+
+
+class TestSnr:
+    def test_perfect_reconstruction_is_inf(self):
+        x = np.arange(1.0, 10.0)
+        assert snr_db(x, x) == float("inf")
+
+    def test_known_snr(self):
+        clean = np.ones(1000)
+        noisy = clean + 0.1  # noise power 0.01, signal power 1 -> 20 dB
+        assert snr_db(clean, noisy) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(AcquisitionError):
+            snr_db(np.ones(3), np.ones(4))
+        with pytest.raises(AcquisitionError):
+            snr_db(np.zeros(3), np.ones(3))

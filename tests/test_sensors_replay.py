@@ -1,0 +1,72 @@
+"""Tests for session recording/replay (repro.sensors.replay)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StreamError
+from repro.sensors.replay import load_session, save_session
+
+
+RNG = np.random.default_rng(241)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        data = RNG.normal(size=(100, 6))
+        path = save_session(
+            tmp_path / "run1.npz", "run1", data, rate_hz=60.0,
+            metadata={"seed": 7, "subject": "s01"},
+        )
+        bundle = load_session(path)
+        assert bundle.name == "run1"
+        assert bundle.rate_hz == 60.0
+        assert bundle.metadata == {"seed": 7, "subject": "s01"}
+        np.testing.assert_array_equal(bundle.data, data)
+        assert bundle.duration == pytest.approx(100 / 60.0)
+
+    def test_replay_as_stream(self, tmp_path):
+        data = RNG.normal(size=(30, 4))
+        path = save_session(tmp_path / "run2.npz", "run2", data, rate_hz=10.0)
+        bundle = load_session(path)
+        frames = list(bundle.source())
+        assert len(frames) == 30
+        assert frames[5].timestamp == pytest.approx(0.5)
+        np.testing.assert_allclose(frames[5].as_array(), data[5])
+
+    def test_suffixless_path_resolved(self, tmp_path):
+        data = RNG.normal(size=(10, 2))
+        save_session(tmp_path / "run3", "run3", data, rate_hz=5.0)
+        bundle = load_session(tmp_path / "run3")
+        assert bundle.data.shape == (10, 2)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StreamError):
+            load_session(tmp_path / "ghost.npz")
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(StreamError):
+            save_session(tmp_path / "x.npz", "x", np.zeros(5), rate_hz=10.0)
+        with pytest.raises(StreamError):
+            save_session(
+                tmp_path / "x.npz", "x", np.zeros((5, 2)), rate_hz=0.0
+            )
+        with pytest.raises(StreamError):
+            save_session(
+                tmp_path / "x.npz", "x", np.zeros((5, 2)), rate_hz=1.0,
+                metadata={"bad": object()},
+            )
+
+    def test_full_pipeline_via_bundle(self, tmp_path):
+        """Record a simulated glove run, reload it, sample it."""
+        from repro.acquisition.sampling import AdaptiveSampler
+        from repro.sensors.glove import CyberGloveSimulator
+        from repro.sensors.noise import NoiseModel
+
+        sim = CyberGloveSimulator(noise=NoiseModel(white_sigma=0.0))
+        session = sim.capture(5.0, np.random.default_rng(0))
+        path = save_session(
+            tmp_path / "glove.npz", "glove", session, sim.rate_hz
+        )
+        bundle = load_session(path)
+        result = AdaptiveSampler().sample(bundle.data, bundle.rate_hz)
+        assert result.nrmse(bundle.data) < 0.05

@@ -1,0 +1,116 @@
+"""Tests for progressive signal retrieval (repro.storage.retrieval) and
+record-stream population on the facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import StorageError
+from repro.storage.retrieval import SignalArchive
+
+
+RNG = np.random.default_rng(211)
+
+
+def smooth_signal(n=512, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / n
+    return (
+        10 * np.sin(2 * np.pi * 3 * t)
+        + 4 * np.sin(2 * np.pi * 11 * t)
+        + rng.normal(0, 0.3, n)
+    )
+
+
+class TestSignalArchive:
+    def test_exact_retrieval_roundtrip(self):
+        signal = smooth_signal()
+        archive = SignalArchive(signal, wavelet="db2", block_size=7)
+        np.testing.assert_allclose(archive.retrieve_exact(), signal, atol=1e-8)
+
+    def test_residual_energy_is_true_error(self):
+        """The orthonormality guarantee: residual energy == squared error."""
+        signal = smooth_signal()
+        archive = SignalArchive(signal, wavelet="db2")
+        for step in archive.retrieve_progressive():
+            true_err = float(np.sum((step.signal - signal) ** 2))
+            assert true_err == pytest.approx(
+                step.residual_energy, rel=1e-6, abs=1e-6
+            )
+
+    def test_refinements_monotone(self):
+        signal = smooth_signal()
+        archive = SignalArchive(signal, wavelet="db2")
+        residuals = [
+            s.residual_energy for s in archive.retrieve_progressive()
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(residuals, residuals[1:]))
+        assert residuals[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_smooth_signal_converges_early(self):
+        """A handful of blocks already gives a faithful smooth signal."""
+        signal = smooth_signal()
+        archive = SignalArchive(signal, wavelet="db4", block_size=7)
+        budget = max(2, archive.n_blocks // 10)
+        approx = archive.retrieve_approximate(budget)
+        assert approx.nrmse(signal) < 0.05
+
+    def test_block_budget_respected(self):
+        signal = smooth_signal(256)
+        archive = SignalArchive(signal)
+        before = archive.store.io_snapshot()
+        approx = archive.retrieve_approximate(3)
+        assert approx.blocks_read <= 3
+        assert archive.store.io_since(before).reads <= 3
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            SignalArchive(np.zeros((4, 4)))
+        with pytest.raises(StorageError):
+            SignalArchive(np.zeros(2), wavelet="db4")
+        archive = SignalArchive(smooth_signal(128))
+        with pytest.raises(StorageError):
+            archive.retrieve_approximate(0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 200), log_n=st.integers(5, 9))
+    def test_roundtrip_property(self, seed, log_n):
+        rng = np.random.default_rng(seed)
+        signal = rng.normal(size=2**log_n)
+        archive = SignalArchive(signal, wavelet="haar", block_size=3)
+        np.testing.assert_allclose(
+            archive.retrieve_exact(), signal, atol=1e-8
+        )
+
+
+class TestPopulateFromRecords:
+    def test_record_pipeline(self):
+        from repro.core.aims import AIMS
+        from repro.core.record import ImmersidataRecord
+
+        rng = np.random.default_rng(5)
+        records = [
+            ImmersidataRecord(
+                sensor_id=int(rng.integers(0, 4)),
+                timestamp=i * 0.02,
+                x=float(rng.normal()), y=0.0, z=0.0,
+                h=0.0, p=0.0, r=0.0,
+            )
+            for i in range(300)
+        ]
+        system = AIMS()
+        engine = system.populate_from_records(
+            "rec", records,
+            ("sensor_id", "timestamp", "x"),
+            bins={"sensor_id": 4, "timestamp": 32, "x": 16},
+        )
+        stats = system.aggregates("rec")
+        assert stats.count([(0, 3), (0, 31), (0, 15)]) == pytest.approx(300.0)
+        assert "x" in engine.field_scales
+        # Decoded average x should sit near the empirical mean.
+        avg_bin = stats.average([(0, 3), (0, 31), (0, 15)], dim=2)
+        lo, step = engine.field_scales["x"]
+        decoded = lo + avg_bin * step
+        want = float(np.mean([r.x for r in records]))
+        assert decoded == pytest.approx(want, abs=step)

@@ -1,0 +1,111 @@
+"""Tests for clock-imperfection simulation (repro.streams.jitter)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StreamError
+from repro.streams.jitter import perturb_timing
+from repro.streams.multiplex import multiplex
+from repro.streams.sample import Sample
+
+
+def clean_stream(n=200, rate=100.0, sensors=3):
+    out = []
+    for i in range(n):
+        for s in range(sensors):
+            out.append(Sample(timestamp=i / rate, sensor_id=s,
+                              value=float(np.sin(i / 10.0) + s)))
+    return out
+
+
+class TestPerturbTiming:
+    def test_identity_when_disabled(self):
+        stream = clean_stream(50)
+        out = list(perturb_timing(stream, np.random.default_rng(0)))
+        assert out == stream
+
+    def test_timestamps_stay_monotone_under_jitter(self):
+        stream = clean_stream(300)
+        out = list(
+            perturb_timing(
+                stream, np.random.default_rng(1), jitter_sd=0.01
+            )
+        )
+        times = [s.timestamp for s in out]
+        assert times == sorted(times)
+
+    def test_drift_scales_time(self):
+        stream = clean_stream(100)
+        out = list(
+            perturb_timing(stream, np.random.default_rng(2), drift_rate=0.01)
+        )
+        assert out[-1].timestamp == pytest.approx(
+            stream[-1].timestamp * 1.01
+        )
+
+    def test_drops_thin_the_stream(self):
+        stream = clean_stream(400)
+        out = list(
+            perturb_timing(stream, np.random.default_rng(3), drop_prob=0.3)
+        )
+        assert 0.6 * len(stream) < len(out) < 0.8 * len(stream)
+
+    def test_multiplexer_survives_perturbation(self):
+        """The zero-order-hold multiplexer must still produce a sane frame
+        stream from jittered, droppy, drifting devices."""
+        stream = clean_stream(500)
+        rng = np.random.default_rng(4)
+        messy = perturb_timing(
+            stream, rng, jitter_sd=0.002, drift_rate=1e-3, drop_prob=0.1
+        )
+        frames = list(multiplex(messy, [0, 1, 2], rate_hz=100.0))
+        assert len(frames) > 400
+        # Values remain in the clean stream's envelope.
+        matrix = np.array([f.values for f in frames])
+        assert matrix.min() >= -1.1
+        assert matrix.max() <= 3.1
+
+    def test_recognizer_survives_timing_noise(self):
+        """End-to-end: jittered acquisition does not break recognition."""
+        from repro.online.recognizer import RecognizerConfig, StreamRecognizer
+        from repro.online.vocabulary import MotionVocabulary
+        from repro.sensors.asl import ASL_VOCABULARY, synthesize_session, synthesize_sign
+        from repro.streams.multiplex import demultiplex
+        from repro.streams.sample import Frame, frames_to_matrix
+
+        rng = np.random.default_rng(5)
+        signs = [ASL_VOCABULARY[i] for i in (5, 9)]
+        training = {
+            s.name: [synthesize_sign(s, rng).frames for _ in range(4)]
+            for s in signs
+        }
+        frames, segments = synthesize_session(signs, rng, gap_duration=0.8)
+        # Round-trip the session through a messy wire.
+        sample_stream = demultiplex(
+            (Frame.from_array(i / 100.0, row) for i, row in enumerate(frames)),
+            list(range(28)),
+        )
+        messy = perturb_timing(
+            sample_stream, rng, jitter_sd=0.001, drop_prob=0.05
+        )
+        rebuilt = frames_to_matrix(
+            list(multiplex(messy, list(range(28)), rate_hz=100.0))
+        )
+        recognizer = StreamRecognizer(
+            MotionVocabulary.from_instances(training),
+            RecognizerConfig(window=50, compare_every=10,
+                             declare_threshold=0.4, decline_steps=3),
+        )
+        recognizer.calibrate_rest(rebuilt[: segments[0].start])
+        detections = recognizer.process(rebuilt)
+        names = [d.name for d in detections]
+        assert names[: len(segments)] == [s.name for s in segments]
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(StreamError):
+            list(perturb_timing([], rng, jitter_sd=-1.0))
+        with pytest.raises(StreamError):
+            list(perturb_timing([], rng, drift_rate=-1.5))
+        with pytest.raises(StreamError):
+            list(perturb_timing([], rng, drop_prob=1.0))

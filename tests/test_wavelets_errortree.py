@@ -1,0 +1,134 @@
+"""Tests for the wavelet error tree (repro.wavelets.errortree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import TransformError
+from repro.wavelets.dwt import wavedec
+from repro.wavelets.errortree import (
+    children,
+    leaf_path,
+    nodes_at_depth,
+    parent,
+    path_to_root,
+    range_support,
+    tree_depth,
+)
+
+
+class TestTopology:
+    def test_parent_of_root(self):
+        assert parent(0) is None
+
+    def test_parent_of_coarsest_detail(self):
+        assert parent(1) == 0
+
+    def test_parent_child_inverse(self):
+        n = 32
+        for node in range(1, n):
+            for child in children(node, n):
+                assert parent(child) == node
+
+    def test_root_child(self):
+        assert children(0, 16) == (1,)
+        assert children(0, 1) == ()
+
+    def test_leaves_have_no_children(self):
+        n = 16
+        for node in range(n // 2, n):
+            assert children(node, n) == ()
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(TransformError):
+            parent(-1)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(TransformError):
+            children(1, 12)
+
+
+class TestPaths:
+    def test_path_to_root_from_leaf(self):
+        path = path_to_root(12)
+        assert path == [12, 6, 3, 1, 0]
+
+    def test_leaf_path_length(self):
+        assert len(leaf_path(5, 16)) == 5  # root + 4 levels
+
+    def test_leaf_path_is_a_tree_path(self):
+        path = leaf_path(9, 16)
+        assert path[0] == 0
+        for upper, lower in zip(path[1:], path[2:]):
+            assert parent(lower) == upper
+
+    def test_leaf_path_bounds(self):
+        with pytest.raises(TransformError):
+            leaf_path(16, 16)
+        with pytest.raises(TransformError):
+            leaf_path(0, 12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(position=st.integers(0, 63))
+    def test_leaf_path_reconstructs_haar_point(self, position):
+        """Zeroing all coefficients outside the leaf path must leave the
+        Haar reconstruction at `position` unchanged — the access-pattern
+        fact the storage subsystem's tiling exploits."""
+        from repro.wavelets.dwt import WaveletCoefficients, waverec
+
+        n = 64
+        rng = np.random.default_rng(position)
+        x = rng.normal(size=n)
+        flat = wavedec(x, "haar").to_flat()
+        keep = set(leaf_path(position, n))
+        masked = np.array(
+            [v if i in keep else 0.0 for i, v in enumerate(flat)]
+        )
+        bundle = WaveletCoefficients.from_flat(masked, 6, "haar")
+        assert waverec(bundle)[position] == pytest.approx(x[position])
+
+
+class TestRangeSupport:
+    def test_support_contains_boundary_paths(self):
+        support = range_support(3, 12, 16)
+        assert set(leaf_path(3, 16)) <= support
+        assert set(leaf_path(12, 16)) <= support
+
+    def test_support_size_logarithmic(self):
+        n = 2**14
+        support = range_support(100, 9000, n)
+        assert len(support) <= 2 * (14 + 1)
+
+    def test_empty_range(self):
+        assert range_support(5, 4, 16) == set()
+
+    def test_haar_range_sum_needs_only_support(self):
+        """A Haar COUNT-weighted range sum depends only on the support."""
+        from repro.wavelets.lazy import lazy_range_query_transform
+
+        n = 64
+        lo, hi = 7, 45
+        sparse = lazy_range_query_transform([1.0], lo, hi, n, "haar")
+        assert set(sparse.entries) <= range_support(lo, hi, n)
+
+
+class TestDepthHelpers:
+    def test_tree_depth(self):
+        assert tree_depth(1) == 0
+        assert tree_depth(64) == 6
+
+    def test_nodes_at_depth(self):
+        assert list(nodes_at_depth(0, 16)) == [1]
+        assert list(nodes_at_depth(3, 16)) == list(range(8, 16))
+
+    def test_depth_out_of_range(self):
+        with pytest.raises(TransformError):
+            nodes_at_depth(4, 16)
+
+    def test_all_nodes_partitioned_by_depth(self):
+        n = 32
+        seen = {0}
+        for depth in range(tree_depth(n)):
+            seen |= set(nodes_at_depth(depth, n))
+        assert seen == set(range(n))

@@ -1,0 +1,111 @@
+"""Tests for wavelet filter construction (repro.wavelets.filters)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TransformError
+from repro.wavelets.filters import WaveletFilter, daubechies, get_filter, haar
+
+
+# Published Daubechies db2 scaling coefficients (extremal phase).
+DB2_REFERENCE = np.array(
+    [
+        (1 + math.sqrt(3)) / (4 * math.sqrt(2)),
+        (3 + math.sqrt(3)) / (4 * math.sqrt(2)),
+        (3 - math.sqrt(3)) / (4 * math.sqrt(2)),
+        (1 - math.sqrt(3)) / (4 * math.sqrt(2)),
+    ]
+)
+
+
+class TestHaar:
+    def test_taps(self):
+        filt = haar()
+        assert filt.length == 2
+        np.testing.assert_allclose(filt.lowpass, [1 / math.sqrt(2)] * 2)
+
+    def test_highpass_is_qmf(self):
+        filt = haar()
+        np.testing.assert_allclose(
+            filt.highpass, [1 / math.sqrt(2), -1 / math.sqrt(2)]
+        )
+
+    def test_orthonormal(self):
+        haar().check_orthonormal()
+
+    def test_one_vanishing_moment(self):
+        filt = haar()
+        assert abs(filt.moment(0, highpass=True)) < 1e-12
+        # Haar does NOT kill linear signals.
+        assert abs(filt.moment(1, highpass=True)) > 0.1
+
+
+class TestDaubechies:
+    def test_db2_matches_published_coefficients(self):
+        filt = daubechies(2)
+        np.testing.assert_allclose(filt.lowpass, DB2_REFERENCE, atol=1e-12)
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 5, 6, 8])
+    def test_orthonormality(self, p):
+        daubechies(p).check_orthonormal(tol=1e-7)
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 5, 6])
+    def test_vanishing_moments(self, p):
+        filt = daubechies(p)
+        for order in range(p):
+            assert abs(filt.moment(order, highpass=True)) < 1e-6, (
+                f"db{p} moment {order} should vanish"
+            )
+
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_first_nonvanishing_moment(self, p):
+        filt = daubechies(p)
+        assert abs(filt.moment(p, highpass=True)) > 1e-4
+
+    def test_tap_count(self):
+        for p in (2, 3, 4, 7):
+            assert daubechies(p).length == 2 * p
+
+    def test_lowpass_sums_to_sqrt2(self):
+        for p in (1, 2, 5):
+            assert abs(sum(daubechies(p).dec_lo) - math.sqrt(2)) < 1e-9
+
+    def test_invalid_order(self):
+        with pytest.raises(TransformError):
+            daubechies(0)
+
+    def test_caching_returns_same_object(self):
+        assert daubechies(4) is daubechies(4)
+
+
+class TestGetFilter:
+    def test_haar_aliases(self):
+        assert get_filter("haar").name == "haar"
+        assert get_filter("db1").name == "haar"
+
+    def test_db_names(self):
+        assert get_filter("db3").vanishing_moments == 3
+        assert get_filter("DB4").vanishing_moments == 4
+
+    @pytest.mark.parametrize("bad", ["", "wavelet", "dbx", "sym4"])
+    def test_unknown_names(self, bad):
+        with pytest.raises(TransformError):
+            get_filter(bad)
+
+
+class TestWaveletFilterValidation:
+    def test_odd_tap_count_rejected(self):
+        with pytest.raises(TransformError):
+            WaveletFilter("bad", (0.5, 0.5, 0.5), vanishing_moments=1)
+
+    def test_non_orthonormal_detected(self):
+        filt = WaveletFilter("lying", (0.9, 0.1), vanishing_moments=1)
+        with pytest.raises(TransformError):
+            filt.check_orthonormal()
+
+    def test_moment_lowpass(self):
+        filt = haar()
+        # sum h[m] * m = 1/sqrt(2) * (0 + 1)
+        assert abs(filt.moment(1) - 1 / math.sqrt(2)) < 1e-12

@@ -1,0 +1,127 @@
+"""Additional wavelet invariants: shifts, cascades, energy ordering.
+
+These complement the per-module tests with cross-cutting identities of
+the periodized transform that the storage and query layers silently rely
+on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wavelets.dwt import dwt_level, max_levels, wavedec, waverec
+from repro.wavelets.filters import daubechies, get_filter, haar
+from repro.wavelets.lazy import lazy_range_query_transform
+
+
+RNG = np.random.default_rng(261)
+
+
+class TestShiftInvariants:
+    def test_even_shift_permutes_haar_bands(self):
+        """Circularly shifting a signal by 2 shifts each Haar band's
+        coefficients by 1 (periodized transforms are shift-covariant at
+        the matching dyadic scale)."""
+        x = RNG.normal(size=32)
+        shifted = np.roll(x, 2)
+        a1, d1 = dwt_level(x, haar())
+        a2, d2 = dwt_level(shifted, haar())
+        np.testing.assert_allclose(a2, np.roll(a1, 1), atol=1e-12)
+        np.testing.assert_allclose(d2, np.roll(d1, 1), atol=1e-12)
+
+    def test_energy_shift_invariant(self):
+        x = RNG.normal(size=64)
+        for shift in (1, 7, 33):
+            assert wavedec(np.roll(x, shift), "db3").energy() == pytest.approx(
+                wavedec(x, "db3").energy()
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(shift=st.integers(0, 63), seed=st.integers(0, 200))
+    def test_roundtrip_commutes_with_shift(self, shift, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=64)
+        direct = np.roll(waverec(wavedec(x, "db2")), shift)
+        shifted = waverec(wavedec(np.roll(x, shift), "db2"))
+        np.testing.assert_allclose(direct, shifted, atol=1e-9)
+
+
+class TestCascadeStructure:
+    def test_deep_cascade_equals_stepwise(self):
+        x = RNG.normal(size=64)
+        filt = daubechies(2)
+        full = wavedec(x, filt, levels=3)
+        # Step it manually.
+        a, d1 = dwt_level(x, filt)
+        a, d2 = dwt_level(a, filt)
+        a, d3 = dwt_level(a, filt)
+        np.testing.assert_allclose(full.approx, a, atol=1e-12)
+        np.testing.assert_allclose(full.details[0], d3, atol=1e-12)
+        np.testing.assert_allclose(full.details[-1], d1, atol=1e-12)
+
+    def test_coarse_band_energy_dominates_for_smooth_signals(self):
+        t = np.linspace(0, 1, 256, endpoint=False)
+        smooth = np.sin(2 * np.pi * t)
+        coeffs = wavedec(smooth, "db4")
+        coarse = float(np.dot(coeffs.approx, coeffs.approx)) + sum(
+            float(np.dot(b, b)) for b in coeffs.details[:3]
+        )
+        assert coarse / coeffs.energy() > 0.99
+
+    def test_white_noise_energy_spread(self):
+        noise = RNG.normal(size=256)
+        coeffs = wavedec(noise, "db4")
+        finest = float(np.dot(coeffs.details[-1], coeffs.details[-1]))
+        # The finest band holds half the coefficients and therefore about
+        # half the energy of white noise.
+        assert 0.3 < finest / coeffs.energy() < 0.7
+
+    @pytest.mark.parametrize("p", [7, 10])
+    def test_high_order_filters_still_orthonormal(self, p):
+        daubechies(p).check_orthonormal(tol=1e-6)
+
+    def test_constant_signal_is_pure_scaling(self):
+        x = np.full(64, 3.0)
+        coeffs = wavedec(x, "db3")
+        assert float(np.max(np.abs(np.concatenate(coeffs.details)))) < 1e-9
+        assert coeffs.approx[0] == pytest.approx(3.0 * np.sqrt(64) /
+                                                 np.sqrt(len(coeffs.approx)))
+
+
+class TestLazyTransformInvariants:
+    def test_complement_ranges_sum_to_full(self):
+        """W(q_[0,k]) + W(q_[k+1,n-1]) == W(q_[0,n-1]) — linearity of the
+        lazy translation."""
+        n = 128
+        k = 37
+        full = lazy_range_query_transform([1.0], 0, n - 1, n, "db2")
+        left = lazy_range_query_transform([1.0], 0, k, n, "db2")
+        right = lazy_range_query_transform([1.0], k + 1, n - 1, n, "db2")
+        combined = np.zeros(n)
+        for entries in (left.entries, right.entries):
+            for idx, val in entries.items():
+                combined[idx] += val
+        np.testing.assert_allclose(combined, full.to_dense(), atol=1e-8)
+
+    def test_scaled_measure_scales_transform(self):
+        n = 64
+        base = lazy_range_query_transform([1.0], 5, 50, n, "db2")
+        scaled = lazy_range_query_transform([2.5], 5, 50, n, "db2")
+        np.testing.assert_allclose(
+            scaled.to_dense(), 2.5 * base.to_dense(), atol=1e-9
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(order=st.integers(1, 4), lo=st.integers(0, 60))
+    def test_sparsity_bounded_by_filter_width(self, order, lo):
+        n = 2**12
+        hi = min(n - 1, lo + 1000)
+        sparse = lazy_range_query_transform(
+            [1.0], lo, hi, n, f"db{order}"
+        )
+        filt = get_filter(f"db{order}")
+        levels = max_levels(n, filt)
+        # Per level: O(filter width) boundary coefficients per endpoint
+        # plus wrap effects; a generous linear-in-(L * levels) cap.
+        assert len(sparse) <= 6 * filt.length * levels + 2 * filt.length

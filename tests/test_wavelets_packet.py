@@ -1,0 +1,129 @@
+"""Tests for the wavelet packet transform (repro.wavelets.packet)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TransformError
+from repro.wavelets.packet import (
+    basis_reconstruct,
+    basis_transform,
+    best_basis,
+    shannon_cost,
+    wavelet_packet_decompose,
+)
+
+
+RNG = np.random.default_rng(11)
+
+
+class TestDecomposition:
+    def test_tree_shape(self):
+        tree = wavelet_packet_decompose(RNG.normal(size=32), "haar", max_level=3)
+        # Root + 2 + 4 + 8 nodes.
+        assert len(tree) == 1 + 2 + 4 + 8
+        assert tree["aa"].data.size == 8
+        assert tree["dd"].level == 2
+
+    def test_left_spine_is_dwt(self):
+        """The repeated-approx path must equal the plain DWT cascade."""
+        from repro.wavelets.dwt import wavedec
+
+        x = RNG.normal(size=64)
+        tree = wavelet_packet_decompose(x, "db2", max_level=3)
+        coeffs = wavedec(x, "db2", levels=3)
+        np.testing.assert_allclose(tree["aaa"].data, coeffs.approx, atol=1e-10)
+        np.testing.assert_allclose(
+            tree["aad"].data, coeffs.details[0], atol=1e-10
+        )
+
+    def test_energy_preserved_per_level(self):
+        x = RNG.normal(size=64)
+        tree = wavelet_packet_decompose(x, "db3", max_level=2)
+        level2 = [tree[p].data for p in ("aa", "ad", "da", "dd")]
+        energy = sum(float(np.dot(v, v)) for v in level2)
+        assert energy == pytest.approx(float(np.dot(x, x)))
+
+    def test_too_short_signal(self):
+        with pytest.raises(TransformError):
+            wavelet_packet_decompose(np.ones(2), "db4")
+
+
+class TestBestBasis:
+    def test_cover_is_complete_and_disjoint(self):
+        x = RNG.normal(size=64)
+        tree = wavelet_packet_decompose(x, "db2", max_level=4)
+        basis = best_basis(tree)
+        # A complete disjoint cover satisfies sum(2^-len(path)) == 1.
+        assert sum(2.0 ** -len(p) for p in basis) == pytest.approx(1.0)
+        for a in basis:
+            for b in basis:
+                if a != b:
+                    assert not b.startswith(a), f"{a} covers {b}"
+
+    def test_sinusoid_prefers_deep_packets(self):
+        """A pure tone concentrates in frequency, so the best basis should
+        split deeper than the root on at least one branch."""
+        t = np.arange(256)
+        x = np.sin(2 * np.pi * 37 * t / 256)
+        tree = wavelet_packet_decompose(x, "db4", max_level=4)
+        basis = best_basis(tree)
+        assert any(len(p) >= 2 for p in basis)
+
+    def test_cost_of_basis_not_worse_than_dwt_cover(self):
+        x = RNG.normal(size=128) ** 3
+        tree = wavelet_packet_decompose(x, "db2", max_level=4)
+        basis = best_basis(tree)
+        best_cost = sum(shannon_cost(tree[p].data) for p in basis)
+        dwt_cover = ["aaaa", "aaad", "aad", "ad", "d"]
+        dwt_cost = sum(shannon_cost(tree[p].data) for p in dwt_cover)
+        assert best_cost <= dwt_cost + 1e-9
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(TransformError):
+            best_basis({})
+
+
+class TestReconstruction:
+    @pytest.mark.parametrize("wavelet", ["haar", "db2"])
+    def test_best_basis_roundtrip(self, wavelet):
+        x = RNG.normal(size=64)
+        tree = wavelet_packet_decompose(x, wavelet, max_level=3)
+        basis = best_basis(tree)
+        coeffs = basis_transform(tree, basis)
+        np.testing.assert_allclose(
+            basis_reconstruct(coeffs, wavelet), x, atol=1e-9
+        )
+
+    def test_full_depth_roundtrip(self):
+        x = RNG.normal(size=32)
+        tree = wavelet_packet_decompose(x, "haar", max_level=5)
+        leaves = {p: tree[p].data for p in tree if len(p) == 5}
+        np.testing.assert_allclose(
+            basis_reconstruct(leaves, "haar"), x, atol=1e-9
+        )
+
+    def test_incomplete_cover_rejected(self):
+        x = RNG.normal(size=16)
+        tree = wavelet_packet_decompose(x, "haar", max_level=2)
+        with pytest.raises(TransformError):
+            basis_reconstruct({"aa": tree["aa"].data, "d": tree["d"].data})
+
+    def test_unknown_basis_path(self):
+        x = RNG.normal(size=16)
+        tree = wavelet_packet_decompose(x, "haar", max_level=2)
+        with pytest.raises(TransformError):
+            basis_transform(tree, ["zz"])
+
+    def test_empty_reconstruct_rejected(self):
+        with pytest.raises(TransformError):
+            basis_reconstruct({})
+
+
+class TestShannonCost:
+    def test_zero_vector(self):
+        assert shannon_cost(np.zeros(8)) == 0.0
+
+    def test_concentration_is_cheaper(self):
+        spread = np.full(4, 0.5)  # unit energy, maximally spread
+        spike = np.array([1.0, 0.0, 0.0, 0.0])  # unit energy, concentrated
+        assert shannon_cost(spike) < shannon_cost(spread)
