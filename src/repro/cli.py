@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli adhd --subjects 20           # run the §2.1 study
     python -m repro.cli asl --signs GREEN RED HELLO  # stream recognition
     python -m repro.cli olap                         # Fig. 4 pivot demo
+    python -m repro.cli stats                        # observability report
     python -m repro.cli info                         # system inventory
 
 Each subcommand is a thin wrapper over the public API, so the CLI doubles
@@ -133,6 +134,75 @@ def _cmd_olap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a representative end-to-end pass and print the metrics report."""
+    from repro import AIMS, AIMSConfig
+    from repro.obs import render_text, to_json
+    from repro.query.rangesum import RangeSumQuery, relation_to_cube
+    from repro.sensors.atmosphere import atmospheric_cube
+    from repro.sensors.glove import CyberGloveSimulator
+
+    rng = np.random.default_rng(args.seed)
+    system = AIMS(AIMSConfig(pool_capacity=32))
+
+    # Acquisition: capture and sample a short glove session.
+    sim = CyberGloveSimulator()
+    session = sim.capture(2.0, rng)
+    system.acquire(session, sim.rate_hz)
+
+    # Storage + off-line query: populate a cube, run exact, progressive
+    # and derived-aggregate queries through the buffer pool.
+    n = 16
+    field = atmospheric_cube((n, n), rng)
+    lo, hi = field.min(), field.max()
+    bins = np.clip(
+        np.round((field - lo) / (hi - lo) * (n - 1)), 0, n - 1
+    ).astype(int)
+    lat, lon = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    cube = relation_to_cube(
+        np.column_stack([lat.ravel(), lon.ravel(), bins.ravel()]), (n, n, n)
+    )
+    engine = system.populate("atm", cube)
+    query = RangeSumQuery.count([(2, 13), (1, 12), (4, 15)])
+    engine.evaluate_exact(query)
+    for est in engine.evaluate_progressive(query):
+        if est.error_bound < 1.0:
+            break
+    agg = system.aggregates("atm")
+    agg.average([(0, n - 1), (0, n - 1), (0, n - 1)], dim=2)
+    agg.variance([(0, n - 1), (0, n - 1), (0, n - 1)], dim=2)
+
+    # Online query: recognize a short synthesized sign stream.
+    from repro.online.recognizer import RecognizerConfig
+    from repro.sensors.asl import ASL_VOCABULARY, synthesize_session, synthesize_sign
+
+    specs = list(ASL_VOCABULARY[:2])
+    system.train_vocabulary(
+        {s.name: [synthesize_sign(s, rng).frames for _ in range(3)]
+         for s in specs}
+    )
+    frames, segments = synthesize_session(specs, rng, gap_duration=0.6)
+    recognizer = system.recognizer(
+        rest_frames=frames[: segments[0].start],
+        config=RecognizerConfig(window=50, compare_every=10,
+                                declare_threshold=0.4, decline_steps=3),
+    )
+    # Feed the session through the stream substrate so ingest counters
+    # tick exactly as they would for a live device.
+    from repro.streams.source import ArraySource
+
+    recognizer.process(ArraySource(frames, rate_hz=60.0))
+
+    registry = system.metrics()
+    if args.json:
+        print(to_json(registry))
+    else:
+        print("metrics after one acquire -> populate -> query -> "
+              "recognize pass:")
+        print(render_text(registry))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Aggregate the benchmark result tables into one report."""
     from pathlib import Path
@@ -188,6 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("olap", help="progressive OLAP demo on atmospheric data")
     sub.add_parser("report", help="print all benchmark result tables")
+
+    stats = sub.add_parser(
+        "stats",
+        help="run an end-to-end pass and print the observability report",
+    )
+    stats.add_argument("--json", action="store_true",
+                       help="emit the metrics registry as JSON")
     return parser
 
 
@@ -198,6 +275,7 @@ _HANDLERS = {
     "asl": _cmd_asl,
     "olap": _cmd_olap,
     "report": _cmd_report,
+    "stats": _cmd_stats,
 }
 
 

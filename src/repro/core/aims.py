@@ -30,6 +30,10 @@ from repro.acquisition.sampling import (
     ModifiedFixedSampler,
     SamplingResult,
 )
+from repro.obs import MetricsRegistry
+from repro.obs import counter as obs_counter
+from repro.obs import gauge as obs_gauge
+from repro.obs import get_registry, span
 from repro.online.recognizer import RecognizerConfig, StreamRecognizer
 from repro.online.vocabulary import MotionVocabulary
 from repro.query.aggregates import StatisticalAggregates
@@ -108,16 +112,20 @@ class AIMS:
         Returns the sampled/reconstructed data and the per-dimension basis
         recommendation for downstream storage.
         """
-        matrix = np.asarray(session, dtype=float)
-        sampler = _SAMPLERS[self.config.sampler]()
-        result = sampler.sample(matrix, rate_hz)
-        reconstructed = result.reconstruct(matrix)
-        return AcquisitionReport(
-            sampling=result,
-            reconstructed=reconstructed,
-            nrmse=result.nrmse(matrix),
-            bases=select_bases(matrix),
-        )
+        with span("acquisition.acquire"):
+            matrix = np.asarray(session, dtype=float)
+            sampler = _SAMPLERS[self.config.sampler]()
+            result = sampler.sample(matrix, rate_hz)
+            reconstructed = result.reconstruct(matrix)
+            report = AcquisitionReport(
+                sampling=result,
+                reconstructed=reconstructed,
+                nrmse=result.nrmse(matrix),
+                bases=select_bases(matrix),
+            )
+        obs_counter("acquisition.sessions").inc()
+        obs_gauge("acquisition.last_nrmse").set(report.nrmse)
+        return report
 
     def live_sampler(
         self, width: int, rate_hz: float, sensor_ids: list[int] | None = None
@@ -192,12 +200,14 @@ class AIMS:
         """
         if name in self._engines:
             raise AIMSError(f"cube {name!r} already populated")
-        engine = ProPolyneEngine(
-            cube,
-            max_degree=self.config.max_degree,
-            block_size=self.config.block_size,
-            pool_capacity=self.config.pool_capacity,
-        )
+        with span("query.populate"):
+            engine = ProPolyneEngine(
+                cube,
+                max_degree=self.config.max_degree,
+                block_size=self.config.block_size,
+                pool_capacity=self.config.pool_capacity,
+            )
+        obs_counter("query.cubes_populated").inc()
         self._engines[name] = engine
         self._aggregates[name] = StatisticalAggregates(engine)
         return engine
@@ -306,3 +316,17 @@ class AIMS:
         rec = StreamRecognizer(self.vocabulary, config)
         rec.calibrate_rest(rest_frames)
         return rec
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics(self) -> MetricsRegistry:
+        """The process-wide metrics registry every subsystem reports into.
+
+        Counters, gauges and histograms from acquisition, storage, query
+        evaluation and recognition accumulate here (see DESIGN.md's
+        metric-name catalogue); render with
+        :func:`repro.obs.render_text` / :func:`repro.obs.to_json`, or
+        swap in a :class:`repro.obs.NullRegistry` via
+        :func:`repro.obs.set_registry` to disable collection.
+        """
+        return get_registry()

@@ -1,0 +1,123 @@
+"""Nested timing spans: ``span()`` / ``timer()`` context managers.
+
+A span measures one operation; spans opened while another span is active
+become its children, so a ProPolyne query span contains the block-store
+fetch spans it triggered and a report can show where a query's latency
+went.  Every completed span also lands in a latency histogram named
+``<name>.seconds`` in the active registry, and completed *root* spans are
+retained on ``registry.spans`` for the exporters.
+
+Under a :class:`~repro.obs.registry.NullRegistry` both context managers
+return a shared no-op, so the disabled path costs one attribute check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = ["Span", "span", "timer", "current_span"]
+
+_stack = threading.local()
+
+
+def _spans() -> list:
+    stack = getattr(_stack, "spans", None)
+    if stack is None:
+        stack = _stack.spans = []
+    return stack
+
+
+class Span:
+    """One timed operation, with children for nested operations.
+
+    Use via the :func:`span` / :func:`timer` context managers rather than
+    directly; the duration is measured with ``time.perf_counter``.
+    """
+
+    __slots__ = ("name", "duration", "children", "_start", "_registry")
+
+    def __init__(self, name: str, registry: MetricsRegistry) -> None:
+        self.name = name
+        self.duration = 0.0
+        self.children: list[Span] = []
+        self._start = 0.0
+        self._registry = registry
+
+    def __enter__(self) -> "Span":
+        _spans().append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._start
+        stack = _spans()
+        stack.pop()
+        registry = self._registry
+        registry.histogram(
+            f"{self.name}.seconds", DEFAULT_LATENCY_BUCKETS
+        ).observe(self.duration)
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            registry.spans.append(self)
+
+    def to_dict(self) -> dict:
+        """Exporter form: name, duration, nested children."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NullSpan:
+    """Shared no-op span for the disabled-instrumentation path."""
+
+    __slots__ = ()
+    name = "null"
+    duration = 0.0
+    children: list = []
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def to_dict(self) -> dict:
+        """Exporter form of nothing."""
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, registry: MetricsRegistry | None = None):
+    """A context manager timing one operation under ``name``.
+
+    Nested uses build a span tree; the innermost active span is the
+    parent of any span opened inside it.
+    """
+    registry = registry or get_registry()
+    if not registry.enabled:
+        return _NULL_SPAN
+    return Span(name, registry)
+
+
+def timer(name: str, registry: MetricsRegistry | None = None):
+    """Alias of :func:`span` — reads better at call sites that only care
+    about the ``<name>.seconds`` histogram, not the tree."""
+    return span(name, registry)
+
+
+def current_span() -> Span | None:
+    """The innermost active span on this thread, if any."""
+    stack = getattr(_stack, "spans", None)
+    return stack[-1] if stack else None

@@ -1,0 +1,65 @@
+"""The shared stats protocol: reset/snapshot/delta over counter bundles.
+
+Before this layer existed every subsystem rolled its own counter bundle
+(``IOStats`` had ``reset``/``snapshot``/``delta``, ``PoolStats`` had
+none), so before/after differencing worked for disk I/O but not for cache
+hits.  :class:`StatsBase` factors the protocol out once: any dataclass of
+numeric counter fields inherits uniform resetting, snapshotting, and
+differencing, and every experiment can treat every stats object the same
+way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["StatsBase"]
+
+
+class StatsBase:
+    """Mixin giving a dataclass of numeric counters a uniform protocol.
+
+    Subclasses are plain dataclasses whose fields are ``int``/``float``
+    counters with numeric defaults.  Derived quantities (rates, ratios)
+    belong in properties, which the protocol ignores — only declared
+    fields participate in :meth:`reset`, :meth:`snapshot` and
+    :meth:`delta`.
+    """
+
+    def reset(self) -> None:
+        """Zero every counter back to its declared default."""
+        for spec in dataclasses.fields(self):
+            if spec.default_factory is not dataclasses.MISSING:
+                default = spec.default_factory()
+            elif spec.default is not dataclasses.MISSING:
+                default = spec.default
+            else:
+                default = 0
+            setattr(self, spec.name, default)
+
+    def snapshot(self):
+        """An independent copy for before/after differencing."""
+        return dataclasses.replace(self)
+
+    def delta(self, before):
+        """Counter increments accumulated since ``before`` was snapshotted.
+
+        Args:
+            before: An earlier :meth:`snapshot` of the same stats type.
+
+        Returns:
+            A new instance of the same type holding per-field differences.
+        """
+        return type(self)(
+            **{
+                spec.name: getattr(self, spec.name) - getattr(before, spec.name)
+                for spec in dataclasses.fields(self)
+            }
+        )
+
+    def as_dict(self) -> dict:
+        """Field name -> current value (for exporters and reports)."""
+        return {
+            spec.name: getattr(self, spec.name)
+            for spec in dataclasses.fields(self)
+        }

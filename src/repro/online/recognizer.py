@@ -14,6 +14,7 @@ level are skipped (and close out any pending declaration).
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass
@@ -21,6 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import RecognitionError
+from repro.obs import counter as obs_counter
+from repro.obs import gauge as obs_gauge
 from repro.online.incsvd import IncrementalMotionSpectrum
 from repro.online.isolation import Detection, EvidenceAccumulator
 from repro.online.vocabulary import MotionVocabulary
@@ -154,7 +157,12 @@ class StreamRecognizer:
             )
         detections: list[Detection] = []
         cfg = self.config
+        frames_c = obs_counter("recognizer.frames")
+        decisions_c = obs_counter("recognizer.decisions")
+        decisions_before = decisions_c.value
+        started = time.perf_counter()
         for frame in frames:
+            frames_c.inc()
             values = (
                 frame.as_array() if isinstance(frame, Frame) else
                 np.asarray(frame, dtype=float)
@@ -185,6 +193,7 @@ class StreamRecognizer:
                 continue
             if not self._armed:
                 continue
+            decisions_c.inc()
             values_w, vectors_w = self._spectrum.spectrum()
             sims = {
                 entry.name: self.vocabulary.similarity(
@@ -201,4 +210,12 @@ class StreamRecognizer:
             pending = self._accumulator.flush(self._frames_seen)
             if pending is not None and self._armed:
                 detections.append(pending)
+        obs_counter("recognizer.detections").inc(len(detections))
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            # §3.4's real-time constraint, as a live rate: vocabulary
+            # comparison rounds (recognition decisions) per second.
+            obs_gauge("recognizer.decisions_per_second").set(
+                (decisions_c.value - decisions_before) / elapsed
+            )
         return detections

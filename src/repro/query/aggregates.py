@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.errors import QueryError
+from repro.obs import counter as obs_counter
+from repro.obs import span
 from repro.query.batch import BatchEvaluator
 from repro.query.propolyne import ProPolyneEngine
 from repro.query.rangesum import RangeSumQuery
@@ -54,35 +56,43 @@ class StatisticalAggregates:
 
     def count(self, ranges: list[tuple[int, int]]) -> float:
         """Number of tuples in the range."""
-        return self._engine.evaluate_exact(RangeSumQuery.count(ranges))
+        with span("aggregates.count"):
+            obs_counter("aggregates.queries").inc()
+            return self._engine.evaluate_exact(RangeSumQuery.count(ranges))
 
     def total(self, ranges: list[tuple[int, int]], dim: int) -> float:
         """SUM of attribute ``dim`` over the range."""
-        return self._engine.evaluate_exact(
-            RangeSumQuery.weighted(ranges, {dim: 1})
-        )
+        with span("aggregates.sum"):
+            obs_counter("aggregates.queries").inc()
+            return self._engine.evaluate_exact(
+                RangeSumQuery.weighted(ranges, {dim: 1})
+            )
 
     def average(self, ranges: list[tuple[int, int]], dim: int) -> float:
         """AVERAGE of attribute ``dim`` over the range."""
-        count, total = self._batch.evaluate_exact(
-            [
-                RangeSumQuery.count(ranges),
-                RangeSumQuery.weighted(ranges, {dim: 1}),
-            ]
-        )
+        with span("aggregates.average"):
+            obs_counter("aggregates.queries").inc()
+            count, total = self._batch.evaluate_exact(
+                [
+                    RangeSumQuery.count(ranges),
+                    RangeSumQuery.weighted(ranges, {dim: 1}),
+                ]
+            )
         if abs(count) < 1e-12:
             raise QueryError("AVERAGE over an empty range")
         return total / count
 
     def variance(self, ranges: list[tuple[int, int]], dim: int) -> float:
         """Population VARIANCE of attribute ``dim`` over the range."""
-        count, s1, s2 = self._batch.evaluate_exact(
-            [
-                RangeSumQuery.count(ranges),
-                RangeSumQuery.weighted(ranges, {dim: 1}),
-                RangeSumQuery.weighted(ranges, {dim: 2}),
-            ]
-        )
+        with span("aggregates.variance"):
+            obs_counter("aggregates.queries").inc()
+            count, s1, s2 = self._batch.evaluate_exact(
+                [
+                    RangeSumQuery.count(ranges),
+                    RangeSumQuery.weighted(ranges, {dim: 1}),
+                    RangeSumQuery.weighted(ranges, {dim: 2}),
+                ]
+            )
         if abs(count) < 1e-12:
             raise QueryError("VARIANCE over an empty range")
         mean = s1 / count
@@ -94,14 +104,16 @@ class StatisticalAggregates:
         """Population COVARIANCE of attributes ``dim_i`` and ``dim_j``."""
         if dim_i == dim_j:
             return self.variance(ranges, dim_i)
-        count, si, sj, sij = self._batch.evaluate_exact(
-            [
-                RangeSumQuery.count(ranges),
-                RangeSumQuery.weighted(ranges, {dim_i: 1}),
-                RangeSumQuery.weighted(ranges, {dim_j: 1}),
-                RangeSumQuery.weighted(ranges, {dim_i: 1, dim_j: 1}),
-            ]
-        )
+        with span("aggregates.covariance"):
+            obs_counter("aggregates.queries").inc()
+            count, si, sj, sij = self._batch.evaluate_exact(
+                [
+                    RangeSumQuery.count(ranges),
+                    RangeSumQuery.weighted(ranges, {dim_i: 1}),
+                    RangeSumQuery.weighted(ranges, {dim_j: 1}),
+                    RangeSumQuery.weighted(ranges, {dim_i: 1, dim_j: 1}),
+                ]
+            )
         if abs(count) < 1e-12:
             raise QueryError("COVARIANCE over an empty range")
         return sij / count - (si / count) * (sj / count)

@@ -30,6 +30,10 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.errors import QueryError
+from repro.obs import DEFAULT_COUNT_BUCKETS
+from repro.obs import counter as obs_counter
+from repro.obs import histogram as obs_histogram
+from repro.obs import span
 from repro.query.rangesum import RangeSumQuery
 from repro.storage.allocation import TensorAllocation, subtree_tiling_allocation
 from repro.storage.blockstore import TensorBlockStore
@@ -238,13 +242,17 @@ class ProPolyneEngine:
 
     def evaluate_exact(self, query: RangeSumQuery) -> float:
         """Exact answer: one sparse inner product in the wavelet domain."""
-        entries = self.query_entries(query)
-        if not entries:
-            return 0.0
-        stored = self.store.fetch(list(entries))
-        return float(
-            sum(qval * stored[idx] for idx, qval in entries.items())
-        )
+        with span("query.exact"):
+            obs_counter("query.exact.queries").inc()
+            entries = self.query_entries(query)
+            if not entries:
+                return 0.0
+            # store.fetch observes query.blocks_per_query — it already
+            # knows the block set, so the engine need not recompute it.
+            stored = self.store.fetch(list(entries))
+            return float(
+                sum(qval * stored[idx] for idx, qval in entries.items())
+            )
 
     def evaluate_progressive(
         self,
@@ -296,9 +304,14 @@ class ProPolyneEngine:
             / max(self._block_sizes.get(plan.block_id, 1), 1)
             for plan in plans
         )
+        obs_counter("query.progressive.queries").inc()
+        obs_histogram(
+            "query.blocks_per_query", DEFAULT_COUNT_BUCKETS
+        ).observe(len(plans))
         estimate = 0.0
         used = 0
         for step, plan in enumerate(plans, start=1):
+            obs_counter("query.progressive.blocks").inc()
             block = self.store.fetch_block(plan.block_id)
             contribution = sum(
                 qval * block[idx] for idx, qval in plan.entries.items()
@@ -368,6 +381,7 @@ class ProPolyneEngine:
                     f"dimension {axis}: value {p} outside domain "
                     f"[0, {self.original_shape[axis]})"
                 )
+        obs_counter("query.inserts").inc()
         impulse = RangeSumQuery(
             ranges=tuple((int(p), int(p)) for p in point)
         )

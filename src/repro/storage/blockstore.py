@@ -14,6 +14,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import StorageError
+from repro.obs import DEFAULT_COUNT_BUCKETS
+from repro.obs import histogram as obs_histogram
+from repro.obs import span
 from repro.storage.allocation import Allocation, TensorAllocation
 from repro.storage.bufferpool import BufferPool
 from repro.storage.disk import IOStats, SimulatedDisk
@@ -71,14 +74,21 @@ class WaveletBlockStore:
 
     def fetch(self, indices: list[int] | set[int]) -> dict[int, float]:
         """Fetch the requested coefficients, reading whole blocks."""
-        out: dict[int, float] = {}
-        for block_id in sorted(self.allocation.blocks_for(indices)):
-            block = self._read(block_id)
-            out.update(block)
-        missing = [i for i in indices if i not in out]
-        if missing:
-            raise StorageError(f"coefficients missing from blocks: {missing[:5]}")
-        return {int(i): out[int(i)] for i in indices}
+        with span("storage.fetch"):
+            needed = sorted(self.allocation.blocks_for(indices))
+            obs_histogram(
+                "query.blocks_per_query", DEFAULT_COUNT_BUCKETS
+            ).observe(len(needed))
+            out: dict[int, float] = {}
+            for block_id in needed:
+                block = self._read(block_id)
+                out.update(block)
+            missing = [i for i in indices if i not in out]
+            if missing:
+                raise StorageError(
+                    f"coefficients missing from blocks: {missing[:5]}"
+                )
+            return {int(i): out[int(i)] for i in indices}
 
     def fetch_block(self, block_id: int) -> dict[int, float]:
         """Fetch one whole block (progressive evaluation reads block-wise)."""
@@ -92,9 +102,8 @@ class WaveletBlockStore:
         block = self.disk.read_block(block_id)
         old = block[index]
         block[index] = float(value)
+        # write_block invalidates any attached pool (write-through hook).
         self.disk.write_block(block_id, block)
-        if self._pool is not None:
-            self._pool.invalidate(block_id)
         self._norm = float(
             np.sqrt(max(0.0, self._norm**2 - old**2 + float(value) ** 2))
         )
@@ -151,14 +160,20 @@ class TensorBlockStore:
         self, indices: list[tuple[int, ...]]
     ) -> dict[tuple[int, ...], float]:
         """Fetch the requested multivariate coefficients block-wise."""
-        needed_blocks = {self.allocation.block_of(i) for i in indices}
-        cache: dict[tuple[int, ...], float] = {}
-        for block_id in sorted(needed_blocks):
-            cache.update(self._read(block_id))
-        try:
-            return {tuple(i): cache[tuple(i)] for i in indices}
-        except KeyError as exc:
-            raise StorageError(f"coefficient {exc} missing from blocks") from exc
+        with span("storage.fetch"):
+            needed_blocks = {self.allocation.block_of(i) for i in indices}
+            obs_histogram(
+                "query.blocks_per_query", DEFAULT_COUNT_BUCKETS
+            ).observe(len(needed_blocks))
+            cache: dict[tuple[int, ...], float] = {}
+            for block_id in sorted(needed_blocks):
+                cache.update(self._read(block_id))
+            try:
+                return {tuple(i): cache[tuple(i)] for i in indices}
+            except KeyError as exc:
+                raise StorageError(
+                    f"coefficient {exc} missing from blocks"
+                ) from exc
 
     def blocks_for(
         self, indices: list[tuple[int, ...]]
@@ -175,7 +190,9 @@ class TensorBlockStore:
     def update_block(
         self, block_id: tuple[int, ...], items: dict[tuple[int, ...], float]
     ) -> None:
-        """Overwrite one block (append path), keeping the pool coherent."""
+        """Overwrite one block (append path).
+
+        Pool coherence is automatic: the device's write-through hook
+        invalidates the block in any attached pool.
+        """
         self.disk.write_block(block_id, items)
-        if self._pool is not None:
-            self._pool.invalidate(block_id)

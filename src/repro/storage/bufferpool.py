@@ -6,6 +6,14 @@ application needs to access one datum on a disk block, it is likely to
 need to access other data on the same block", amortizing the I/O.  The
 pool makes that amortization observable: hits are free, misses cost a
 device read.
+
+Coherence and copies: the pool registers itself with its device, so any
+:meth:`~repro.storage.disk.SimulatedDisk.write_block` — whether issued
+through a block store or directly — invalidates the cached copy
+(write-through invalidation; no stale reads).  Cached entries are the
+device's own immutable payloads (one shared instance, never mutated in
+place), and callers always receive a fresh copy, so a pool read costs
+exactly one dictionary copy whether it hits or misses.
 """
 
 from __future__ import annotations
@@ -15,17 +23,26 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from repro.core.errors import StorageError
+from repro.obs import counter as obs_counter
+from repro.obs.stats import StatsBase
 from repro.storage.disk import SimulatedDisk
 
 __all__ = ["BufferPool", "PoolStats"]
 
 
 @dataclass
-class PoolStats:
-    """Hit/miss counters."""
+class PoolStats(StatsBase):
+    """Hit/miss/eviction/invalidation counters.
+
+    Shares the ``reset``/``snapshot``/``delta`` protocol of
+    :class:`repro.obs.stats.StatsBase`, so pool activity can be
+    differenced before/after a workload exactly like device I/O.
+    """
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -38,7 +55,8 @@ class BufferPool:
     """Fixed-capacity LRU cache of disk blocks.
 
     Args:
-        disk: Backing device.
+        disk: Backing device.  The pool registers itself with it for
+            write-through invalidation.
         capacity: Number of blocks held in memory.
     """
 
@@ -49,23 +67,37 @@ class BufferPool:
         self._capacity = capacity
         self._cache: OrderedDict[Hashable, dict] = OrderedDict()
         self.stats = PoolStats()
+        disk.attach_cache(self)
 
     def read_block(self, block_id: Hashable) -> dict:
-        """Fetch a block through the cache."""
-        if block_id in self._cache:
+        """Fetch a block through the cache.
+
+        The returned dictionary is always a fresh copy — mutating it
+        never corrupts the cached (or on-device) payload.
+        """
+        cached = self._cache.get(block_id)
+        if cached is not None:
             self._cache.move_to_end(block_id)
             self.stats.hits += 1
-            return dict(self._cache[block_id])
-        block = self._disk.read_block(block_id)
+            obs_counter("storage.pool.hits").inc()
+            return dict(cached)
+        # The device's payload is immutable-by-contract, so it can be the
+        # cache entry itself: one copy per miss (for the caller), not two.
+        block = self._disk.read_block_shared(block_id)
         self.stats.misses += 1
+        obs_counter("storage.pool.misses").inc()
         self._cache[block_id] = block
         if len(self._cache) > self._capacity:
             self._cache.popitem(last=False)
+            self.stats.evictions += 1
+            obs_counter("storage.pool.evictions").inc()
         return dict(block)
 
     def invalidate(self, block_id: Hashable) -> None:
-        """Drop a cached block (after an in-place update)."""
-        self._cache.pop(block_id, None)
+        """Drop a cached block (called automatically on device writes)."""
+        if self._cache.pop(block_id, None) is not None:
+            self.stats.invalidations += 1
+            obs_counter("storage.pool.invalidations").inc()
 
     def clear(self) -> None:
         """Empty the cache (statistics are kept)."""

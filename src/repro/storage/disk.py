@@ -5,39 +5,39 @@ share a disk block* and *how many blocks a query touches* — never about a
 specific device.  This simulator therefore models exactly that: fixed-size
 blocks addressed by id, with read/write counters that every experiment
 reads its I/O costs from.
+
+Coherence: caches layered on top of the device (buffer pools) register
+themselves via :meth:`SimulatedDisk.attach_cache`; every
+:meth:`SimulatedDisk.write_block` then invalidates the written block in
+each attached cache, so a writer can never leave a pool serving stale
+payloads.  Device counters also feed the process-wide metrics registry
+(``storage.disk.reads`` / ``storage.disk.writes``).
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Hashable
 
 from repro.core.errors import StorageError
+from repro.obs import counter as obs_counter
+from repro.obs.stats import StatsBase
 
 __all__ = ["IOStats", "SimulatedDisk"]
 
 
 @dataclass
-class IOStats:
-    """Counters for one device (or one measurement interval)."""
+class IOStats(StatsBase):
+    """Counters for one device (or one measurement interval).
+
+    ``reset``/``snapshot``/``delta`` come from the shared
+    :class:`repro.obs.stats.StatsBase` protocol, so device I/O differs
+    the same way every other stats bundle does.
+    """
 
     reads: int = 0
     writes: int = 0
-
-    def reset(self) -> None:
-        """Zero the counters."""
-        self.reads = 0
-        self.writes = 0
-
-    def snapshot(self) -> "IOStats":
-        """A copy for before/after differencing."""
-        return IOStats(reads=self.reads, writes=self.writes)
-
-    def delta(self, before: "IOStats") -> "IOStats":
-        """I/O performed since ``before`` was snapshotted."""
-        return IOStats(
-            reads=self.reads - before.reads, writes=self.writes - before.writes
-        )
 
 
 @dataclass
@@ -58,12 +58,25 @@ class SimulatedDisk:
             raise StorageError(
                 f"block size must be positive, got {self.block_size}"
             )
+        # Caches to invalidate on write-through; weak so a discarded pool
+        # does not outlive its usefulness here.
+        self._caches: weakref.WeakSet = weakref.WeakSet()
 
     def __len__(self) -> int:
         return len(self._blocks)
 
+    def attach_cache(self, cache) -> None:
+        """Register a cache for write-through invalidation.
+
+        ``cache`` needs an ``invalidate(block_id)`` method; it is held
+        weakly.  Every subsequent :meth:`write_block` drops the written
+        block from the cache, closing the stale-read window between a
+        direct device write and a later cached read.
+        """
+        self._caches.add(cache)
+
     def write_block(self, block_id: Hashable, items: dict) -> None:
-        """Store (or overwrite) one block."""
+        """Store (or overwrite) one block, invalidating attached caches."""
         if len(items) > self.block_size:
             raise StorageError(
                 f"block {block_id!r}: {len(items)} items exceed "
@@ -71,15 +84,33 @@ class SimulatedDisk:
             )
         self._blocks[block_id] = dict(items)
         self.stats.writes += 1
+        obs_counter("storage.disk.writes").inc()
+        for cache in self._caches:
+            cache.invalidate(block_id)
 
-    def read_block(self, block_id: Hashable) -> dict:
-        """Fetch one block, counting the I/O."""
+    def _fetch(self, block_id: Hashable) -> dict:
         try:
             block = self._blocks[block_id]
         except KeyError:
             raise StorageError(f"no such block {block_id!r}") from None
         self.stats.reads += 1
-        return dict(block)
+        obs_counter("storage.disk.reads").inc()
+        return block
+
+    def read_block(self, block_id: Hashable) -> dict:
+        """Fetch one block, counting the I/O.  The caller owns the copy."""
+        return dict(self._fetch(block_id))
+
+    def read_block_shared(self, block_id: Hashable) -> dict:
+        """Fetch one block without copying, counting the I/O.
+
+        Returns the device's internal payload, which MUST be treated as
+        immutable: the device never mutates stored payloads in place
+        (:meth:`write_block` replaces them), so sharing is safe for
+        readers that also never mutate — the buffer pool uses this to
+        avoid one copy per miss.
+        """
+        return self._fetch(block_id)
 
     def has_block(self, block_id: Hashable) -> bool:
         """Existence check (no I/O charged — directory metadata)."""

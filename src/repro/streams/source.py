@@ -15,6 +15,7 @@ from collections.abc import Callable, Iterator
 import numpy as np
 
 from repro.core.errors import StreamError
+from repro.obs import counter as obs_counter
 from repro.streams.sample import Frame
 
 __all__ = ["StreamSource", "ArraySource", "CallbackSource", "concat_sources"]
@@ -44,7 +45,16 @@ class StreamSource:
                 "can be looked at only once"
             )
         self._consumed = True
-        return self._generate()
+        return self._counted(self._generate())
+
+    @staticmethod
+    def _counted(frames: Iterator[Frame]) -> Iterator[Frame]:
+        # The ingest tally binds once per stream, keeping the per-frame
+        # cost to a single attribute bump.
+        ingested = obs_counter("streams.frames_ingested")
+        for frame in frames:
+            ingested.inc()
+            yield frame
 
     def _generate(self) -> Iterator[Frame]:
         raise NotImplementedError

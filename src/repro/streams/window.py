@@ -15,6 +15,7 @@ from collections.abc import Iterable, Iterator
 import numpy as np
 
 from repro.core.errors import StreamError
+from repro.obs import counter as obs_counter
 from repro.streams.sample import Frame, frames_to_matrix
 
 __all__ = ["SlidingWindow", "sliding_windows", "tumbling_windows"]
@@ -75,12 +76,14 @@ def sliding_windows(
     """
     if size <= 0 or step <= 0:
         raise StreamError(f"size and step must be positive, got {size}, {step}")
+    emissions = obs_counter("streams.window_emissions")
     buffer: deque[Frame] = deque(maxlen=size)
     since_emit = step  # emit as soon as the first window fills
     for frame in stream:
         buffer.append(frame)
         if len(buffer) == size:
             if since_emit >= step:
+                emissions.inc()
                 yield list(buffer)
                 since_emit = 0
             since_emit += 1
@@ -99,11 +102,14 @@ def tumbling_windows(
     """
     if size <= 0:
         raise StreamError(f"size must be positive, got {size}")
+    emissions = obs_counter("streams.window_emissions")
     chunk: list[Frame] = []
     for frame in stream:
         chunk.append(frame)
         if len(chunk) == size:
+            emissions.inc()
             yield chunk
             chunk = []
     if chunk and not drop_last:
+        emissions.inc()
         yield chunk
