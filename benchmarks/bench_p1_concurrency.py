@@ -1,0 +1,187 @@
+"""P1 — concurrent query service scaling and cache effectiveness.
+
+The ROADMAP's north star is heavy concurrent traffic at hardware speed;
+this benchmark establishes the perf baseline future PRs must beat.  It
+drives one mixed exact/progressive workload through ``QueryService`` at
+1/2/4/8 workers over a simulated disk with per-read latency (the regime
+where shared scans and the buffer pool matter), then a group-by-heavy
+workload that measures the translation cache.
+
+Results land in ``benchmarks/results/P1_concurrency.txt`` (table) and in
+``BENCH_concurrency.json`` at the repo root (machine-readable: per-worker
+throughput, p50/p95 latency, pool hit rate, translation-cache hit rate)
+— CI uploads the JSON as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.query.propolyne import ProPolyneEngine
+from repro.query.rangesum import RangeSumQuery
+from repro.query.service import QueryService
+from repro.wavelets.lazy import translation_cache
+
+from conftest import format_table
+
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_concurrency.json"
+
+WORKER_COUNTS = (1, 2, 4, 8)
+DISK_LATENCY_S = 0.001  # per block read; the resource threads overlap on
+POOL_CAPACITY = 16      # small on purpose: the workload must do real I/O
+
+
+def build_engine() -> ProPolyneEngine:
+    rng = np.random.default_rng(2003)
+    cube = rng.poisson(3.0, (64, 64)).astype(float)
+    engine = ProPolyneEngine(
+        cube, max_degree=1, block_size=7, pool_capacity=POOL_CAPACITY
+    )
+    engine.store.disk.latency_s = DISK_LATENCY_S
+    return engine
+
+
+def mixed_workload(n_exact=32, n_progressive=8, seed=17):
+    rng = np.random.default_rng(seed)
+    exact, progressive = [], []
+    for bucket, count in ((exact, n_exact), (progressive, n_progressive)):
+        for _ in range(count):
+            lo1 = int(rng.integers(0, 40))
+            lo2 = int(rng.integers(0, 40))
+            bucket.append(
+                RangeSumQuery.count(
+                    [(lo1, lo1 + int(rng.integers(4, 23))),
+                     (lo2, lo2 + int(rng.integers(4, 23)))]
+                )
+            )
+    return exact, progressive
+
+
+def reset_caches(engine) -> None:
+    """Identical cold-cache start for every worker count."""
+    translation_cache().clear()
+    translation_cache().reset_stats()
+    if engine.store._pool is not None:
+        engine.store._pool.clear()
+
+
+def run_mixed(engine, workers, exact, progressive) -> dict:
+    reset_caches(engine)
+    pool = engine.store._pool
+    pool_before = pool.stats.snapshot()
+    latencies: list[float] = []
+
+    def completion_recorder(submitted_at):
+        def record(_future):
+            latencies.append(time.perf_counter() - submitted_at)
+        return record
+
+    started = time.perf_counter()
+    with QueryService(
+        engine, workers=workers,
+        queue_depth=len(exact) + len(progressive),
+    ) as service:
+        futures = []
+        for query in exact:
+            future = service.submit_exact(query, block=True)
+            future.add_done_callback(completion_recorder(time.perf_counter()))
+            futures.append(future)
+        for query in progressive:
+            stream = service.submit_progressive(query, block=True)
+            stream.future.add_done_callback(
+                completion_recorder(time.perf_counter())
+            )
+            futures.append(stream.future)
+        for future in futures:
+            future.result(timeout=300)
+        elapsed = time.perf_counter() - started
+        scan = service.scan_stats()
+
+    pool_delta = pool.stats.delta(pool_before)
+    total = len(exact) + len(progressive)
+    return {
+        "workers": workers,
+        "queries": total,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_qps": round(total / elapsed, 2),
+        "latency_p50_s": round(float(np.percentile(latencies, 50)), 5),
+        "latency_p95_s": round(float(np.percentile(latencies, 95)), 5),
+        "pool_hit_rate": round(pool_delta.hit_rate, 4),
+        "scan_shared": scan["shared"],
+        "scan_fetches": scan["fetches"],
+    }
+
+
+def run_groupby_heavy(engine, workers=4, passes=2) -> dict:
+    """Group-by cells repeated across passes: the translation-cache case."""
+    reset_caches(engine)
+    cells = [
+        RangeSumQuery.count([(start, start + 3), (8, 55)])
+        for start in range(0, 64, 4)
+    ]
+    with QueryService(engine, workers=workers, queue_depth=256) as service:
+        for _ in range(passes):
+            service.run_exact(cells)
+    return translation_cache().stats()
+
+
+def run_benchmark():
+    engine = build_engine()
+    exact, progressive = mixed_workload()
+    runs = [
+        run_mixed(engine, workers, exact, progressive)
+        for workers in WORKER_COUNTS
+    ]
+    transcache = run_groupby_heavy(engine)
+    baseline = runs[0]["throughput_qps"]
+    payload = {
+        "schema": "repro.bench/concurrency-v1",
+        "disk_latency_s": DISK_LATENCY_S,
+        "pool_capacity": POOL_CAPACITY,
+        "runs": runs,
+        "speedup_vs_1_worker": {
+            str(r["workers"]): round(r["throughput_qps"] / baseline, 2)
+            for r in runs
+        },
+        "groupby_translation_cache": transcache,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_p1_concurrency_scaling(emit, benchmark):
+    payload = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    runs = payload["runs"]
+    rows = [
+        [r["workers"], r["throughput_qps"],
+         f"{r['latency_p50_s'] * 1e3:.1f}",
+         f"{r['latency_p95_s'] * 1e3:.1f}",
+         f"{r['pool_hit_rate']:.0%}", r["scan_shared"]]
+        for r in runs
+    ]
+    emit(
+        "P1_concurrency",
+        format_table(
+            ["workers", "qps", "p50 ms", "p95 ms", "pool hits", "shared scans"],
+            rows,
+        )
+        + f"\ngroup-by translation cache: "
+        f"{payload['groupby_translation_cache']['hit_rate']:.0%} hits "
+        f"({payload['groupby_translation_cache']['hits']} / "
+        f"{payload['groupby_translation_cache']['hits'] + payload['groupby_translation_cache']['misses']})"
+        + f"\nJSON baseline written to {JSON_PATH.name}",
+    )
+    by_workers = {r["workers"]: r for r in runs}
+    # The headline claims this PR must establish:
+    # concurrency buys >= 2x throughput at 4 workers on an I/O-bound mix,
+    assert (
+        by_workers[4]["throughput_qps"]
+        >= 2.0 * by_workers[1]["throughput_qps"]
+    )
+    # and the translation cache absorbs most group-by translation work.
+    assert payload["groupby_translation_cache"]["hit_rate"] > 0.5
+    assert JSON_PATH.exists()

@@ -172,6 +172,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     agg.average([(0, n - 1), (0, n - 1), (0, n - 1)], dim=2)
     agg.variance([(0, n - 1), (0, n - 1), (0, n - 1)], dim=2)
 
+    # Concurrent query service: a group-by burst through the thread-pool
+    # front end, so the service, shared-scan, translation-cache and
+    # pool-occupancy series all appear in the report.
+    from repro.query.service import QueryService
+
+    cells = [
+        RangeSumQuery.count([(s, min(s + 3, n - 1)), (0, n - 1), (2, 13)])
+        for s in range(0, n, 4)
+    ]
+    with QueryService(engine, workers=2, queue_depth=len(cells)) as service:
+        service.run_exact(cells)
+        service.run_exact(cells)  # repeat pass: translation-cache hits
+
     # Online query: recognize a short synthesized sign stream.
     from repro.online.recognizer import RecognizerConfig
     from repro.sensors.asl import ASL_VOCABULARY, synthesize_session, synthesize_sign

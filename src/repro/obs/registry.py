@@ -55,21 +55,29 @@ DEFAULT_COUNT_BUCKETS: tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing tally."""
+    """A monotonically increasing tally.
 
-    __slots__ = ("name", "value")
+    Increments take a per-instrument lock: ``value += amount`` is a
+    read-modify-write, and concurrent query workers would otherwise lose
+    updates under an unlucky thread switch.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         """Add ``amount`` (default 1) to the tally."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
         """Zero the tally."""
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def as_dict(self) -> dict:
         """Exporter form: ``{name, value}``."""
@@ -106,7 +114,9 @@ class Histogram:
     the overflow slot past the last edge.
     """
 
-    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+    __slots__ = (
+        "name", "buckets", "counts", "count", "total", "min", "max", "_lock"
+    )
 
     def __init__(
         self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
@@ -123,17 +133,20 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation (atomic across all fields)."""
         value = float(value)
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        slot = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[slot] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -142,11 +155,12 @@ class Histogram:
 
     def reset(self) -> None:
         """Drop every observation."""
-        self.counts = [0] * (len(self.buckets) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
+        with self._lock:
+            self.counts = [0] * (len(self.buckets) + 1)
+            self.count = 0
+            self.total = 0.0
+            self.min = float("inf")
+            self.max = float("-inf")
 
     def as_dict(self) -> dict:
         """Exporter form, with per-edge counts and an ``inf`` overflow."""

@@ -15,8 +15,22 @@ from repro.query.propolyne import (
     translate_query,
 )
 from repro.query.rangesum import RangeSumQuery, evaluate_on_cube, relation_to_cube
+from repro.query.service import (
+    ProgressiveStream,
+    QueryRejected,
+    QueryService,
+    ScanCoordinator,
+    SharedScanStore,
+    shared_scan_view,
+)
 
 __all__ = [
+    "ProgressiveStream",
+    "QueryRejected",
+    "QueryService",
+    "ScanCoordinator",
+    "SharedScanStore",
+    "shared_scan_view",
     "RangeSumQuery",
     "evaluate_on_cube",
     "relation_to_cube",

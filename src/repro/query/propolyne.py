@@ -40,7 +40,7 @@ from repro.storage.blockstore import TensorBlockStore
 from repro.storage.scheduler import plan_blocks
 from repro.wavelets.dwt import max_levels
 from repro.wavelets.filters import get_filter
-from repro.wavelets.lazy import lazy_range_query_transform
+from repro.wavelets.lazy import cached_range_query_transform
 from repro.wavelets.tensor import tensor_wavedec
 
 __all__ = [
@@ -97,7 +97,11 @@ def translate_query(
                 if w != 0.0
             }
         else:
-            sparse = lazy_range_query_transform(
+            # Memoized per-dimension transform: group-by / drill-down
+            # workloads repeat dimension ranges constantly, and the memo
+            # turns those repeats into a dictionary lookup.  The cached
+            # vector is shared, so ``entries`` is read-only here.
+            sparse = cached_range_query_transform(
                 list(poly), lo, hi, padded_shape[axis],
                 wavelet=filt, levels=levels[axis],
             )

@@ -1,0 +1,431 @@
+"""Concurrent query service: thread-pooled ProPolyne evaluation with
+admission control and cross-query shared scans.
+
+§3.3.1 asks for evaluation "algorithms which share I/O maximally and
+retrieve the most important data first".  :mod:`repro.query.batch` shares
+I/O *within* one pre-declared batch; this module generalizes that static
+merge to dynamic traffic — the north-star workload of many independent
+callers hitting one cube at once:
+
+* :class:`QueryService` — a thread-pool front end over a
+  :class:`~repro.query.propolyne.ProPolyneEngine`.  Exact queries return
+  :class:`~concurrent.futures.Future`\\ s; progressive queries return a
+  :class:`ProgressiveStream` that yields
+  :class:`~repro.query.propolyne.ProgressiveEstimate`\\ s as worker
+  threads produce them.  A bounded admission queue rejects work beyond
+  ``queue_depth`` with :class:`QueryRejected`, so overload degrades into
+  fast failures instead of unbounded queueing.
+* :class:`ScanCoordinator` — single-flight deduplication of in-flight
+  block reads: when several concurrent queries want the same block, one
+  thread performs the read and every waiter shares the payload.
+  Combined with the buffer pool (which dedupes *over time*) this is the
+  paper's shared-scan discipline applied across independent queries.
+* :class:`SharedScanStore` — a read-only view of a block store whose
+  block fetches go through a coordinator; everything else delegates to
+  the wrapped store.
+
+Results are bitwise-identical to single-threaded evaluation on the same
+engine: translation, planning and summation are deterministic, and the
+service only ever *reads* through the storage layer.
+"""
+
+from __future__ import annotations
+
+import copy
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Hashable, Iterator
+
+from repro.core.errors import QueryError, StorageError
+from repro.obs import DEFAULT_COUNT_BUCKETS, DEFAULT_LATENCY_BUCKETS
+from repro.obs import counter as obs_counter
+from repro.obs import gauge as obs_gauge
+from repro.obs import histogram as obs_histogram
+from repro.query.propolyne import ProgressiveEstimate, ProPolyneEngine
+from repro.query.rangesum import RangeSumQuery
+
+__all__ = [
+    "ProgressiveStream",
+    "QueryRejected",
+    "QueryService",
+    "ScanCoordinator",
+    "SharedScanStore",
+    "shared_scan_view",
+]
+
+
+class QueryRejected(QueryError):
+    """The admission queue is full; the query was not enqueued."""
+
+
+class _Flight:
+    """One in-flight block read: the leader fills it, waiters share it."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: dict | None = None
+        self.error: BaseException | None = None
+
+
+class ScanCoordinator:
+    """Single-flight block fetches over one block store.
+
+    Concurrent requests for the same block id are collapsed into one
+    store read: the first requester (the *leader*) performs the fetch,
+    every other requester blocks on the flight's event and receives a
+    copy of the payload.  Sequential re-reads are not deduplicated here
+    — that is the buffer pool's job — so the coordinator adds no state
+    beyond the currently in-flight reads.
+
+    Attributes:
+        fetches: Block reads this coordinator issued to the store.
+        shared: Requests served by piggy-backing on another query's
+            in-flight read (each one is a device/pool read avoided).
+    """
+
+    def __init__(self, store) -> None:
+        self._store = store
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _Flight] = {}
+        self.fetches = 0
+        self.shared = 0
+
+    def fetch_block(self, block_id: Hashable) -> dict:
+        """Fetch one block, deduplicating against in-flight reads."""
+        with self._lock:
+            flight = self._inflight.get(block_id)
+            leader = flight is None
+            if leader:
+                flight = self._inflight[block_id] = _Flight()
+        if not leader:
+            flight.event.wait()
+            with self._lock:
+                self.shared += 1
+            obs_counter("query.service.scan.shared").inc()
+            if flight.error is not None:
+                raise flight.error
+            # Followers get their own copy: the leader's caller owns the
+            # original and is allowed to mutate it.
+            return dict(flight.result)
+        try:
+            flight.result = self._store.fetch_block(block_id)
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(block_id, None)
+                self.fetches += 1
+            flight.event.set()
+        obs_counter("query.service.scan.fetches").inc()
+        return flight.result
+
+    def stats(self) -> dict:
+        """Snapshot: issued fetches and piggy-backed (saved) reads."""
+        with self._lock:
+            return {"fetches": self.fetches, "shared": self.shared}
+
+
+class SharedScanStore:
+    """Read-only block-store view whose reads go through a coordinator.
+
+    Implements the two read entry points the ProPolyne engine uses
+    (:meth:`fetch` and :meth:`fetch_block`) on top of
+    :class:`ScanCoordinator`; every other attribute (``allocation``,
+    ``disk``, ``io_snapshot``, ...) delegates to the wrapped store.
+    Mutating operations must go to the underlying store directly.
+    """
+
+    def __init__(self, store, coordinator: ScanCoordinator | None = None) -> None:
+        self._store = store
+        self.coordinator = coordinator or ScanCoordinator(store)
+
+    def __getattr__(self, name: str):
+        return getattr(self._store, name)
+
+    def fetch_block(self, block_id: Hashable) -> dict:
+        """Single-flighted block fetch."""
+        return self.coordinator.fetch_block(block_id)
+
+    def fetch(self, indices) -> dict:
+        """Fetch the requested coefficients block-wise (single-flighted).
+
+        Mirrors the wrapped store's ``fetch`` contract — same block set,
+        same values, same ``query.blocks_per_query`` observation — so
+        exact evaluation through the view is bitwise-identical to
+        evaluation on the plain store.
+        """
+        block_of = self._store.allocation.block_of
+        needed = {block_of(i) for i in indices}
+        obs_histogram(
+            "query.blocks_per_query", DEFAULT_COUNT_BUCKETS
+        ).observe(len(needed))
+        cache: dict = {}
+        for block_id in sorted(needed):
+            cache.update(self.fetch_block(block_id))
+        try:
+            return {i: cache[i] for i in indices}
+        except KeyError as exc:
+            raise StorageError(
+                f"coefficient {exc} missing from blocks"
+            ) from exc
+
+
+def shared_scan_view(engine: ProPolyneEngine) -> ProPolyneEngine:
+    """A shallow engine view whose storage reads are single-flighted.
+
+    The view shares every populated structure (coefficients on disk,
+    block norms, filter, levels) with ``engine``; only ``store`` is
+    replaced by a :class:`SharedScanStore`.  Use it for concurrent
+    *read* traffic; route updates (``insert``) to the original engine.
+    """
+    view = copy.copy(engine)
+    view.store = SharedScanStore(engine.store)
+    return view
+
+
+class ProgressiveStream:
+    """Progressive estimates produced by a service worker, consumable as
+    an iterator while the evaluation is still running.
+
+    Iterating yields every
+    :class:`~repro.query.propolyne.ProgressiveEstimate` in evaluation
+    order (blocking until the worker produces the next one); ``future``
+    resolves to the *final* estimate once the evaluation completes, so
+    callers that only want the fully-converged answer can wait on
+    :meth:`result` without consuming the stream.
+    """
+
+    _DONE = object()
+
+    def __init__(self) -> None:
+        self._items: queue.SimpleQueue = queue.SimpleQueue()
+        self.future: Future = Future()
+
+    def __iter__(self) -> Iterator[ProgressiveEstimate]:
+        while True:
+            item = self._items.get()
+            if item is self._DONE:
+                error = self.future.exception()
+                if error is not None:
+                    raise error
+                return
+            yield item
+
+    def result(self, timeout: float | None = None) -> ProgressiveEstimate:
+        """The final estimate (blocks until the evaluation finishes)."""
+        return self.future.result(timeout)
+
+    # -- producer side (service worker) ---------------------------------
+
+    def _emit(self, estimate: ProgressiveEstimate) -> None:
+        self._items.put(estimate)
+
+    def _finish(self, final, error: BaseException | None) -> None:
+        if error is not None:
+            self.future.set_exception(error)
+        else:
+            self.future.set_result(final)
+        self._items.put(self._DONE)
+
+
+class _Task:
+    """One admitted query: kind, payload, and its result sink."""
+
+    __slots__ = ("kind", "query", "importance", "future", "stream")
+
+    def __init__(self, kind, query, importance, future, stream) -> None:
+        self.kind = kind
+        self.query = query
+        self.importance = importance
+        self.future = future
+        self.stream = stream
+
+
+_SHUTDOWN = object()
+
+
+class QueryService:
+    """Thread-pooled front end over a ProPolyne engine.
+
+    Args:
+        engine: The populated engine to serve.  By default the service
+            evaluates through :func:`shared_scan_view`, so concurrent
+            queries deduplicate in-flight block reads.
+        workers: Worker-thread count (>= 1).
+        queue_depth: Admission-queue bound; submissions beyond
+            ``queue_depth`` pending tasks raise :class:`QueryRejected`
+            (unless submitted with ``block=True``).
+        share_scans: Set False to evaluate against the engine's plain
+            store (no cross-query deduplication) — the baseline the
+            concurrency benchmark compares against.
+
+    Metrics: ``query.service.submitted`` / ``completed`` / ``rejected``
+    counters, a ``query.service.queue_depth`` gauge, the
+    ``query.service.latency.seconds`` histogram (per-query wall time,
+    admission to completion), and ``query.service.scan.fetches`` /
+    ``scan.shared`` from the coordinator.
+    """
+
+    def __init__(
+        self,
+        engine: ProPolyneEngine,
+        workers: int = 4,
+        queue_depth: int = 64,
+        share_scans: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise QueryError(f"worker count must be >= 1, got {workers}")
+        if queue_depth < 1:
+            raise QueryError(
+                f"admission queue depth must be >= 1, got {queue_depth}"
+            )
+        self.engine = shared_scan_view(engine) if share_scans else engine
+        self.coordinator = (
+            self.engine.store.coordinator if share_scans else None
+        )
+        self.queue_depth = queue_depth
+        self.rejected = 0
+        self.completed = 0
+        self._tasks: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"query-service-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ------------------------------------------------------
+
+    def submit_exact(
+        self, query: RangeSumQuery, block: bool = False
+    ) -> Future:
+        """Enqueue an exact range-sum; the future resolves to its value.
+
+        Args:
+            query: The range-sum to evaluate.
+            block: When True, wait for queue space instead of raising
+                :class:`QueryRejected` on overload.
+        """
+        task = _Task("exact", query, "l2", Future(), None)
+        self._admit(task, block)
+        return task.future
+
+    def submit_progressive(
+        self,
+        query: RangeSumQuery,
+        importance: str = "l2",
+        block: bool = False,
+    ) -> ProgressiveStream:
+        """Enqueue a progressive range-sum and return its estimate stream.
+
+        Args:
+            query: The range-sum to evaluate.
+            importance: Block-ordering objective (``"l2"`` or ``"linf"``),
+                as in :meth:`ProPolyneEngine.evaluate_progressive`.
+            block: When True, wait for queue space instead of raising
+                :class:`QueryRejected` on overload.
+        """
+        stream = ProgressiveStream()
+        task = _Task("progressive", query, importance, stream.future, stream)
+        self._admit(task, block)
+        return stream
+
+    def run_exact(self, queries: list[RangeSumQuery]) -> list[float]:
+        """Convenience: submit every query (waiting for queue space) and
+        return their answers in order."""
+        futures = [self.submit_exact(q, block=True) for q in queries]
+        return [f.result() for f in futures]
+
+    def _admit(self, task: _Task, block: bool) -> None:
+        with self._lock:
+            if self._closed:
+                raise QueryError("query service is closed")
+        try:
+            if block:
+                self._tasks.put(task)
+            else:
+                self._tasks.put_nowait(task)
+        except queue.Full:
+            with self._lock:
+                self.rejected += 1
+            obs_counter("query.service.rejected").inc()
+            raise QueryRejected(
+                f"admission queue full ({self.queue_depth} pending); "
+                f"retry later or raise queue_depth"
+            ) from None
+        obs_counter("query.service.submitted").inc()
+        obs_gauge("query.service.queue_depth").set(self._tasks.qsize())
+
+    # -- worker side -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is _SHUTDOWN:
+                return
+            started = time.perf_counter()
+            try:
+                if task.kind == "exact":
+                    task.future.set_result(
+                        self.engine.evaluate_exact(task.query)
+                    )
+                else:
+                    final = None
+                    for estimate in self.engine.evaluate_progressive(
+                        task.query, importance=task.importance
+                    ):
+                        final = estimate
+                        task.stream._emit(estimate)
+                    task.stream._finish(final, None)
+            except BaseException as exc:  # deliver, never kill the worker
+                if task.stream is not None:
+                    task.stream._finish(None, exc)
+                else:
+                    task.future.set_exception(exc)
+            finally:
+                with self._lock:
+                    self.completed += 1
+                obs_counter("query.service.completed").inc()
+                obs_histogram(
+                    "query.service.latency.seconds", DEFAULT_LATENCY_BUCKETS
+                ).observe(time.perf_counter() - started)
+                obs_gauge("query.service.queue_depth").set(
+                    self._tasks.qsize()
+                )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; drain pending tasks, then stop workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._tasks.put(_SHUTDOWN)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def scan_stats(self) -> dict:
+        """Shared-scan counters (zeros when scan sharing is disabled)."""
+        if self.coordinator is None:
+            return {"fetches": 0, "shared": 0}
+        return self.coordinator.stats()

@@ -14,16 +14,30 @@ through a block store or directly — invalidates the cached copy
 device's own immutable payloads (one shared instance, never mutated in
 place), and callers always receive a fresh copy, so a pool read costs
 exactly one dictionary copy whether it hits or misses.
+
+Thread safety: one pool lock guards the LRU map and the
+:class:`PoolStats` counters.  The lock is *not* held across the device
+read on a miss (that would serialize all I/O and invert the device →
+pool locking order the write-through hook uses), which opens a window:
+a block read from the device before a concurrent write could be inserted
+into the cache after the write's invalidation already ran.  The pool
+closes it with an invalidation generation — every ``invalidate``/
+``clear`` bumps ``_gen``, and a miss only publishes its payload if no
+invalidation happened since the miss began.  Readers racing a write may
+still *return* the pre-write payload (that read linearizes before the
+write), but a stale payload can never be cached.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
 
 from repro.core.errors import StorageError
 from repro.obs import counter as obs_counter
+from repro.obs import gauge as obs_gauge
 from repro.obs.stats import StatsBase
 from repro.storage.disk import SimulatedDisk
 
@@ -37,6 +51,8 @@ class PoolStats(StatsBase):
     Shares the ``reset``/``snapshot``/``delta`` protocol of
     :class:`repro.obs.stats.StatsBase`, so pool activity can be
     differenced before/after a workload exactly like device I/O.
+    Updates happen under the owning pool's lock, so concurrent traffic
+    never loses increments.
     """
 
     hits: int = 0
@@ -67,7 +83,16 @@ class BufferPool:
         self._capacity = capacity
         self._cache: OrderedDict[Hashable, dict] = OrderedDict()
         self.stats = PoolStats()
+        # Guards _cache, stats and _gen; never held across a device call.
+        self._lock = threading.Lock()
+        # Bumped by every invalidate()/clear(); a miss only publishes its
+        # payload into the cache if the generation it started under is
+        # still current, so a racing write can never leave a stale entry.
+        self._gen = 0
         disk.attach_cache(self)
+
+    def _occupancy(self) -> float:
+        return len(self._cache) / self._capacity
 
     def read_block(self, block_id: Hashable) -> dict:
         """Fetch a block through the cache.
@@ -75,33 +100,63 @@ class BufferPool:
         The returned dictionary is always a fresh copy — mutating it
         never corrupts the cached (or on-device) payload.
         """
-        cached = self._cache.get(block_id)
+        with self._lock:
+            cached = self._cache.get(block_id)
+            if cached is not None:
+                self._cache.move_to_end(block_id)
+                self.stats.hits += 1
+                copy = dict(cached)
+            else:
+                gen = self._gen
         if cached is not None:
-            self._cache.move_to_end(block_id)
-            self.stats.hits += 1
             obs_counter("storage.pool.hits").inc()
-            return dict(cached)
+            return copy
         # The device's payload is immutable-by-contract, so it can be the
         # cache entry itself: one copy per miss (for the caller), not two.
+        # The pool lock is released across the read — see the module
+        # docstring for the generation-gated re-insert that keeps the
+        # cache coherent against concurrent writes.
         block = self._disk.read_block_shared(block_id)
-        self.stats.misses += 1
+        evicted = 0
+        with self._lock:
+            self.stats.misses += 1
+            if self._gen == gen and block_id not in self._cache:
+                self._cache[block_id] = block
+                while len(self._cache) > self._capacity:
+                    self._cache.popitem(last=False)
+                    self.stats.evictions += 1
+                    evicted += 1
+            occupancy = self._occupancy()
         obs_counter("storage.pool.misses").inc()
-        self._cache[block_id] = block
-        if len(self._cache) > self._capacity:
-            self._cache.popitem(last=False)
-            self.stats.evictions += 1
-            obs_counter("storage.pool.evictions").inc()
+        if evicted:
+            obs_counter("storage.pool.evictions").inc(evicted)
+        obs_gauge("storage.pool.occupancy").set(occupancy)
         return dict(block)
 
     def invalidate(self, block_id: Hashable) -> None:
-        """Drop a cached block (called automatically on device writes)."""
-        if self._cache.pop(block_id, None) is not None:
-            self.stats.invalidations += 1
+        """Drop a cached block (called automatically on device writes).
+
+        Always bumps the invalidation generation — even when the block is
+        not currently cached — because an in-flight miss may be about to
+        insert the pre-write payload.
+        """
+        with self._lock:
+            self._gen += 1
+            dropped = self._cache.pop(block_id, None) is not None
+            if dropped:
+                self.stats.invalidations += 1
+            occupancy = self._occupancy()
+        if dropped:
             obs_counter("storage.pool.invalidations").inc()
+            obs_gauge("storage.pool.occupancy").set(occupancy)
 
     def clear(self) -> None:
         """Empty the cache (statistics are kept)."""
-        self._cache.clear()
+        with self._lock:
+            self._gen += 1
+            self._cache.clear()
+        obs_gauge("storage.pool.occupancy").set(0.0)
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)

@@ -12,10 +12,21 @@ themselves via :meth:`SimulatedDisk.attach_cache`; every
 each attached cache, so a writer can never leave a pool serving stale
 payloads.  Device counters also feed the process-wide metrics registry
 (``storage.disk.reads`` / ``storage.disk.writes``).
+
+Thread safety: the block directory and :class:`IOStats` counters are
+guarded by one device lock, so concurrent readers and writers never lose
+stats updates or observe a half-written directory.  The lock is released
+before cache invalidation callbacks run and before the simulated
+``latency_s`` sleep, so the device never holds its lock while calling
+into another component (see the locking order in
+``docs/ARCHITECTURE.md``) and concurrent reads overlap their simulated
+seek time.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 import weakref
 from dataclasses import dataclass, field
 from typing import Hashable
@@ -46,10 +57,15 @@ class SimulatedDisk:
 
     Payloads are dictionaries from item key (e.g. flat coefficient index)
     to value; ``block_size`` bounds how many items one block may carry,
-    mirroring a real device's fixed block capacity.
+    mirroring a real device's fixed block capacity.  ``latency_s`` adds a
+    per-read sleep (taken outside the device lock, so concurrent reads
+    overlap) that models seek + transfer time for concurrency
+    experiments; it defaults to zero so every existing workload is
+    unaffected.
     """
 
     block_size: int
+    latency_s: float = 0.0
     _blocks: dict[Hashable, dict] = field(default_factory=dict)
     stats: IOStats = field(default_factory=IOStats)
 
@@ -58,12 +74,20 @@ class SimulatedDisk:
             raise StorageError(
                 f"block size must be positive, got {self.block_size}"
             )
+        if self.latency_s < 0:
+            raise StorageError(
+                f"read latency must be >= 0, got {self.latency_s}"
+            )
         # Caches to invalidate on write-through; weak so a discarded pool
         # does not outlive its usefulness here.
         self._caches: weakref.WeakSet = weakref.WeakSet()
+        # Guards the block directory and the IOStats counters; never held
+        # while calling into an attached cache or sleeping.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._blocks)
+        with self._lock:
+            return len(self._blocks)
 
     def attach_cache(self, cache) -> None:
         """Register a cache for write-through invalidation.
@@ -76,25 +100,38 @@ class SimulatedDisk:
         self._caches.add(cache)
 
     def write_block(self, block_id: Hashable, items: dict) -> None:
-        """Store (or overwrite) one block, invalidating attached caches."""
+        """Store (or overwrite) one block, invalidating attached caches.
+
+        The stored payload is a fresh dictionary that is never mutated in
+        place afterwards (subsequent writes replace it), so readers that
+        already hold the previous payload keep a consistent pre-write
+        snapshot.  Invalidation callbacks run after the device lock is
+        released.
+        """
         if len(items) > self.block_size:
             raise StorageError(
                 f"block {block_id!r}: {len(items)} items exceed "
                 f"block size {self.block_size}"
             )
-        self._blocks[block_id] = dict(items)
-        self.stats.writes += 1
+        payload = dict(items)
+        with self._lock:
+            self._blocks[block_id] = payload
+            self.stats.writes += 1
+            caches = list(self._caches)
         obs_counter("storage.disk.writes").inc()
-        for cache in self._caches:
+        for cache in caches:
             cache.invalidate(block_id)
 
     def _fetch(self, block_id: Hashable) -> dict:
-        try:
-            block = self._blocks[block_id]
-        except KeyError:
-            raise StorageError(f"no such block {block_id!r}") from None
-        self.stats.reads += 1
+        with self._lock:
+            try:
+                block = self._blocks[block_id]
+            except KeyError:
+                raise StorageError(f"no such block {block_id!r}") from None
+            self.stats.reads += 1
         obs_counter("storage.disk.reads").inc()
+        if self.latency_s > 0.0:
+            time.sleep(self.latency_s)
         return block
 
     def read_block(self, block_id: Hashable) -> dict:
@@ -114,15 +151,18 @@ class SimulatedDisk:
 
     def has_block(self, block_id: Hashable) -> bool:
         """Existence check (no I/O charged — directory metadata)."""
-        return block_id in self._blocks
+        with self._lock:
+            return block_id in self._blocks
 
     def block_ids(self) -> list[Hashable]:
         """All allocated block ids (no I/O charged)."""
-        return list(self._blocks)
+        with self._lock:
+            return list(self._blocks)
 
     def occupancy(self) -> float:
         """Mean fraction of block capacity in use."""
-        if not self._blocks:
-            return 0.0
-        used = sum(len(b) for b in self._blocks.values())
-        return used / (len(self._blocks) * self.block_size)
+        with self._lock:
+            if not self._blocks:
+                return 0.0
+            used = sum(len(b) for b in self._blocks.values())
+            return used / (len(self._blocks) * self.block_size)

@@ -1,0 +1,182 @@
+"""Thread-safety of the storage layer: concurrent readers and writers
+through ``SimulatedDisk`` and ``BufferPool``.
+
+Three invariants under concurrency:
+
+* **no lost stats updates** — every read/write/hit/miss is counted
+  exactly once, so the counters are conserved across any interleaving;
+* **no stale reads** — after a write completes, no subsequent read (from
+  the pool or the device) may return the pre-write payload, even when a
+  concurrent miss was in flight during the write;
+* **no torn payloads** — readers always see some complete payload a
+  writer stored, never a mixture of two writes.
+"""
+
+import threading
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+def run_threads(targets):
+    threads = [threading.Thread(target=t) for t in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestStatsConservation:
+    def test_concurrent_reads_lose_no_device_counts(self):
+        disk = SimulatedDisk(block_size=4)
+        for b in range(8):
+            disk.write_block(b, {b: float(b)})
+        per_thread, n_threads = 300, 8
+        base = disk.stats.snapshot()
+
+        def reader():
+            for i in range(per_thread):
+                disk.read_block(i % 8)
+
+        run_threads([reader] * n_threads)
+        assert disk.stats.delta(base).reads == per_thread * n_threads
+
+    def test_concurrent_pool_traffic_conserves_hit_miss_counts(self):
+        disk = SimulatedDisk(block_size=4)
+        for b in range(16):
+            disk.write_block(b, {b: float(b)})
+        pool = BufferPool(disk, capacity=4)  # small: constant evictions
+        per_thread, n_threads = 300, 8
+
+        def reader(seed):
+            def run():
+                for i in range(per_thread):
+                    pool.read_block((i * (seed + 1) + seed) % 16)
+            return run
+
+        run_threads([reader(s) for s in range(n_threads)])
+        assert pool.stats.hits + pool.stats.misses == per_thread * n_threads
+        # Every miss is a device read, and nothing else reads the device.
+        assert disk.stats.reads == pool.stats.misses
+
+    def test_concurrent_writers_lose_no_write_counts(self):
+        disk = SimulatedDisk(block_size=4)
+        per_thread, n_threads = 200, 6
+
+        def writer(seed):
+            def run():
+                for i in range(per_thread):
+                    disk.write_block(
+                        (seed, i % 10), {0: float(i), 1: float(seed)}
+                    )
+            return run
+
+        run_threads([writer(s) for s in range(n_threads)])
+        assert disk.stats.writes == per_thread * n_threads
+        assert len(disk) == n_threads * 10
+
+
+class TestCoherenceUnderConcurrency:
+    def test_no_stale_reads_with_concurrent_writes(self):
+        # A writer bumps a monotonically increasing version; readers go
+        # through the pool.  A read that returns version v after a write
+        # of version w > v completed *before the read started* would be a
+        # stale read.  Monotonicity per reader is the checkable proxy:
+        # cached payloads may lag the in-flight write, but they may never
+        # roll back past a version the same reader already observed.
+        disk = SimulatedDisk(block_size=4)
+        disk.write_block("hot", {0: 0.0})
+        pool = BufferPool(disk, capacity=2)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            for version in range(1, 400):
+                disk.write_block("hot", {0: float(version)})
+            stop.set()
+
+        def reader():
+            last = -1.0
+            while not stop.is_set():
+                seen = pool.read_block("hot")[0]
+                if seen < last:
+                    errors.append((last, seen))
+                    return
+                last = seen
+
+        run_threads([writer] + [reader] * 4)
+        assert errors == []
+        # After the dust settles the pool must serve the final payload —
+        # the in-flight-miss window may not have cached a stale one.
+        assert pool.read_block("hot") == {0: 399.0}
+        assert pool.read_block("hot") == {0: 399.0}  # now from cache
+
+    def test_no_torn_payloads(self):
+        # Writers store internally consistent payloads {0: v, 1: v};
+        # readers must never observe {0: a, 1: b} with a != b.
+        disk = SimulatedDisk(block_size=4)
+        disk.write_block("b", {0: 0.0, 1: 0.0})
+        pool = BufferPool(disk, capacity=2)
+        stop = threading.Event()
+        torn = []
+
+        def writer(offset):
+            def run():
+                for i in range(300):
+                    v = float(i * 10 + offset)
+                    disk.write_block("b", {0: v, 1: v})
+            return run
+
+        def reader():
+            while not stop.is_set():
+                payload = pool.read_block("b")
+                if payload[0] != payload[1]:
+                    torn.append(payload)
+                    return
+
+        writers = [writer(1), writer(2)]
+
+        def all_writers():
+            run_threads(writers)
+            stop.set()
+
+        run_threads([all_writers] + [reader] * 3)
+        assert torn == []
+
+    def test_mutating_a_concurrent_copy_never_leaks_into_cache(self):
+        disk = SimulatedDisk(block_size=4)
+        disk.write_block(0, {0: 1.0})
+        pool = BufferPool(disk, capacity=2)
+
+        def clobber():
+            for _ in range(200):
+                copy = pool.read_block(0)
+                copy[0] = -99.0  # caller-owned copy; must not leak
+
+        run_threads([clobber] * 4)
+        assert pool.read_block(0) == {0: 1.0}
+        assert disk.read_block(0) == {0: 1.0}
+
+
+class TestSimulatedLatency:
+    def test_latency_defaults_off_and_validates(self):
+        import pytest
+
+        from repro.core.errors import StorageError
+
+        assert SimulatedDisk(block_size=2).latency_s == 0.0
+        with pytest.raises(StorageError):
+            SimulatedDisk(block_size=2, latency_s=-0.1)
+
+    def test_concurrent_reads_overlap_their_latency(self):
+        import time
+
+        disk = SimulatedDisk(block_size=2, latency_s=0.01)
+        disk.write_block(0, {0: 1.0})
+        n = 8
+        start = time.perf_counter()
+        run_threads([lambda: disk.read_block(0)] * n)
+        elapsed = time.perf_counter() - start
+        # Serial reads would cost n * 10 ms; overlapping reads must land
+        # well under that (generous bound to stay robust on slow CI).
+        assert elapsed < n * 0.01 * 0.8

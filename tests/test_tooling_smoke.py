@@ -37,10 +37,15 @@ class TestStatsCommand:
             "storage.disk.reads",
             "storage.pool.hits",
             "query.exact.queries",
+            "query.service.submitted",
+            "query.service.completed",
+            "wavelets.transcache.hits",
+            "wavelets.transcache.misses",
             "streams.frames_ingested",
             "recognizer.decisions",
         ):
             assert report["counters"].get(name, 0) > 0, name
+        assert 0.0 < report["gauges"].get("storage.pool.occupancy", 0.0) <= 1.0
         assert report["histograms"]["query.blocks_per_query"]["count"] >= 1
         assert report["spans"]  # at least one retained root span
 
@@ -50,6 +55,9 @@ class TestStatsCommand:
         for section in ("counters", "histograms", "spans"):
             assert section in proc.stdout
         assert "storage.pool.hits" in proc.stdout
+        assert "storage.pool.occupancy" in proc.stdout
+        assert "wavelets.transcache" in proc.stdout
+        assert "query.service" in proc.stdout
 
 
 class TestMetricsSidecar:
