@@ -11,6 +11,13 @@ still produces every tick (sampling decides what to *record*, not what
 the hardware senses); the sampler re-estimates each sensor's required
 rate from the window that just closed and applies it to the next window.
 The first window, with no history, records at the full device rate.
+
+Sensor dropouts (NaN readings — a glove finger flaking out mid-session)
+are absorbed, not raised: the sampler holds each sensor's last good
+value, counts the gap in :attr:`StreamingStats.dropouts` and the
+``faults.sensor_dropouts`` metric, and keeps the session running.  A
+sensor that has never reported reads as ``0.0`` until its first good
+tick.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import numpy as np
 
 from repro.core.errors import AcquisitionError
 from repro.acquisition.nyquist import estimate_fmax_mse, nyquist_rate
+from repro.obs import counter as obs_counter
 from repro.streams.sample import Sample
 
 __all__ = ["StreamingAdaptiveSampler", "StreamingStats"]
@@ -33,6 +41,7 @@ class StreamingStats:
     ticks_seen: int = 0
     samples_recorded: int = 0
     rate_updates: int = 0
+    dropouts: int = 0
 
     @property
     def record_fraction(self) -> float:
@@ -82,7 +91,25 @@ class StreamingAdaptiveSampler:
         # Running per-sensor amplitude spread (activity scale).
         self._lo = np.full(self.width, np.inf)
         self._hi = np.full(self.width, -np.inf)
+        # Dropout repair state: last good reading per sensor (0.0 until
+        # a sensor has reported at least once).
+        self._last_good = np.zeros(self.width)
         self._tick = 0
+
+    def _repair(self, frame: np.ndarray) -> np.ndarray:
+        """Replace NaN readings with each sensor's last good value.
+
+        Counts every repaired reading in :attr:`StreamingStats.dropouts`
+        and the ``faults.sensor_dropouts`` counter; never raises.
+        """
+        gaps = ~np.isfinite(frame)
+        if gaps.any():
+            n = int(gaps.sum())
+            self.stats.dropouts += n
+            obs_counter("faults.sensor_dropouts").inc(n)
+            frame = np.where(gaps, self._last_good, frame)
+        self._last_good = frame
+        return frame
 
     def _reestimate(self) -> None:
         """Close the current window: derive next-window rates from it."""
@@ -102,12 +129,17 @@ class StreamingAdaptiveSampler:
         self.stats.rate_updates += self.width
 
     def push(self, values: np.ndarray) -> list[Sample]:
-        """Feed one device tick; returns the readings recorded for it."""
+        """Feed one device tick; returns the readings recorded for it.
+
+        NaN readings are repaired (hold-last-value) rather than raised:
+        a flaky sensor must not kill a live acquisition session.
+        """
         frame = np.asarray(values, dtype=float)
         if frame.shape != (self.width,):
             raise AcquisitionError(
                 f"frame shape {frame.shape} != ({self.width},)"
             )
+        frame = self._repair(frame)
         timestamp = self._tick / self.rate_hz
         recorded = []
         for s in range(self.width):

@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli adhd --subjects 20           # run the §2.1 study
     python -m repro.cli asl --signs GREEN RED HELLO  # stream recognition
     python -m repro.cli olap                         # Fig. 4 pivot demo
+    python -m repro.cli chaos --fault-rate 0.05      # resilience drill
     python -m repro.cli stats                        # observability report
     python -m repro.cli info                         # system inventory
 
@@ -134,12 +135,88 @@ def _cmd_olap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _atmospheric_count_cube(rng: np.random.Generator, n: int) -> np.ndarray:
+    """A small quantized atmospheric frequency cube (shared demo fixture)."""
+    from repro.query.rangesum import relation_to_cube
+    from repro.sensors.atmosphere import atmospheric_cube
+
+    field = atmospheric_cube((n, n), rng)
+    lo, hi = field.min(), field.max()
+    bins = np.clip(
+        np.round((field - lo) / (hi - lo) * (n - 1)), 0, n - 1
+    ).astype(int)
+    lat, lon = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return relation_to_cube(
+        np.column_stack([lat.ravel(), lon.ravel(), bins.ravel()]), (n, n, n)
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos drill: degradable queries against a fault-injected store.
+
+    Exercises the whole resilience stack — FaultyDisk faults, retries,
+    the circuit breaker, and graceful degradation — and prints the
+    outcome.  Always exits 0: a degraded answer with an error bound is
+    the designed behaviour, not a failure.
+    """
+    from repro import AIMS, AIMSConfig
+    from repro.faults import CircuitBreaker, FaultPlan, RetryPolicy
+    from repro.obs import counter as obs_counter
+    from repro.query.rangesum import RangeSumQuery
+
+    rate = args.fault_rate
+    if not 0.0 <= rate <= 0.5:
+        print(f"--fault-rate must be in [0, 0.5], got {rate}",
+              file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    n = 16
+    cube = _atmospheric_count_cube(rng, n)
+    plan = FaultPlan(
+        seed=args.seed,
+        read_error_rate=rate,
+        torn_rate=rate / 2,
+        latency_spike_rate=rate / 2,
+        latency_spike_s=0.001,
+    )
+    breaker = CircuitBreaker(failure_threshold=5, recovery_timeout_s=0.05)
+    system = AIMS(AIMSConfig(pool_capacity=32))
+    engine = system.populate(
+        "chaos", cube,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.0005),
+        breaker=breaker,
+    )
+    queries = [
+        RangeSumQuery.count([(s, min(s + 5, n - 1)), (0, n - 1), (2, 13)])
+        for s in range(0, n, 2)
+    ] * max(1, args.queries // (n // 2))
+    degraded = 0
+    for query in queries:
+        outcome = engine.evaluate_degradable(query, deadline_s=args.deadline)
+        if outcome.degraded:
+            degraded += 1
+    print(f"chaos drill: {len(queries)} degradable queries at "
+          f"{rate:.0%} read-fault rate")
+    print(f"  degraded        : {degraded}/{len(queries)} "
+          f"(each with a guaranteed error bound)")
+    print(f"  retries/recovers: {obs_counter('retry.retries').value:.0f}/"
+          f"{obs_counter('retry.recoveries').value:.0f}")
+    print(f"  injected faults : "
+          f"{obs_counter('faults.injected.read_errors').value:.0f} read, "
+          f"{obs_counter('faults.injected.torn_blocks').value:.0f} torn, "
+          f"{obs_counter('faults.injected.latency_spikes').value:.0f} slow")
+    snap = breaker.snapshot()
+    print(f"  breaker         : {snap['state']} "
+          f"(trips={snap['trips']:.0f}, rejections={snap['rejections']:.0f})")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Run a representative end-to-end pass and print the metrics report."""
     from repro import AIMS, AIMSConfig
     from repro.obs import render_text, to_json
-    from repro.query.rangesum import RangeSumQuery, relation_to_cube
-    from repro.sensors.atmosphere import atmospheric_cube
+    from repro.query.rangesum import RangeSumQuery
     from repro.sensors.glove import CyberGloveSimulator
 
     rng = np.random.default_rng(args.seed)
@@ -153,15 +230,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     # Storage + off-line query: populate a cube, run exact, progressive
     # and derived-aggregate queries through the buffer pool.
     n = 16
-    field = atmospheric_cube((n, n), rng)
-    lo, hi = field.min(), field.max()
-    bins = np.clip(
-        np.round((field - lo) / (hi - lo) * (n - 1)), 0, n - 1
-    ).astype(int)
-    lat, lon = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
-    cube = relation_to_cube(
-        np.column_stack([lat.ravel(), lon.ravel(), bins.ravel()]), (n, n, n)
-    )
+    cube = _atmospheric_count_cube(rng, n)
     engine = system.populate("atm", cube)
     query = RangeSumQuery.count([(2, 13), (1, 12), (4, 15)])
     engine.evaluate_exact(query)
@@ -206,13 +275,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     recognizer.process(ArraySource(frames, rate_hz=60.0))
 
+    # Resilience: a short drill against a fault-injected store, so the
+    # faults.* / retry.* / breaker.* series appear in the report (see
+    # docs/OPERATIONS.md for how to read them under load).
+    from repro.faults import CircuitBreaker, FaultPlan, RetryPolicy
+
+    breaker = CircuitBreaker(failure_threshold=5, recovery_timeout_s=0.05)
+    faulty = system.populate(
+        "atm-faulty", cube,
+        fault_plan=FaultPlan(seed=args.seed, read_error_rate=0.05,
+                             torn_rate=0.02),
+        retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.0005),
+        breaker=breaker,
+    )
+    for s in range(0, n, 4):
+        faulty.evaluate_degradable(
+            RangeSumQuery.count([(s, min(s + 3, n - 1)), (0, n - 1), (2, 13)])
+        )
+
     registry = system.metrics()
     if args.json:
         print(to_json(registry))
     else:
         print("metrics after one acquire -> populate -> query -> "
-              "recognize pass:")
+              "recognize -> chaos pass:")
         print(render_text(registry))
+        snap = breaker.snapshot()
+        print(f"breaker {snap['name']!r}: {snap['state']} "
+              f"(streak={snap['consecutive_failures']}, "
+              f"trips={snap['trips']}, rejections={snap['rejections']})")
     return 0
 
 
@@ -272,6 +363,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("olap", help="progressive OLAP demo on atmospheric data")
     sub.add_parser("report", help="print all benchmark result tables")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="resilience drill: degradable queries under injected faults",
+    )
+    chaos.add_argument("--fault-rate", type=float, default=0.05,
+                       dest="fault_rate",
+                       help="injected read-error rate (default 0.05)")
+    chaos.add_argument("--queries", type=int, default=16,
+                       help="degradable queries to run (default 16)")
+    chaos.add_argument("--deadline", type=float, default=None,
+                       help="per-query deadline in seconds (default none)")
+
     stats = sub.add_parser(
         "stats",
         help="run an end-to-end pass and print the observability report",
@@ -287,6 +390,7 @@ _HANDLERS = {
     "adhd": _cmd_adhd,
     "asl": _cmd_asl,
     "olap": _cmd_olap,
+    "chaos": _cmd_chaos,
     "report": _cmd_report,
     "stats": _cmd_stats,
 }

@@ -192,11 +192,22 @@ class AIMS:
         engine.field_scales = scales
         return engine
 
-    def populate(self, name: str, cube: np.ndarray) -> ProPolyneEngine:
+    def populate(
+        self,
+        name: str,
+        cube: np.ndarray,
+        fault_plan=None,
+        retry_policy=None,
+        breaker=None,
+    ) -> ProPolyneEngine:
         """Transform a frequency cube and put it on tiled block storage.
 
         The resulting engine answers exact, approximate and progressive
-        polynomial range-sums under ``name``.
+        polynomial range-sums under ``name``.  The optional
+        ``fault_plan`` / ``retry_policy`` / ``breaker`` pass straight
+        through to the engine's block store (see :mod:`repro.faults`):
+        with all three ``None`` the storage path is exactly the
+        pre-resilience one.
         """
         if name in self._engines:
             raise AIMSError(f"cube {name!r} already populated")
@@ -206,6 +217,9 @@ class AIMS:
                 max_degree=self.config.max_degree,
                 block_size=self.config.block_size,
                 pool_capacity=self.config.pool_capacity,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
+                breaker=breaker,
             )
         obs_counter("query.cubes_populated").inc()
         self._engines[name] = engine

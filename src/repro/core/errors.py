@@ -38,6 +38,19 @@ class StorageError(AIMSError):
     """The simulated disk, allocation layer or BLOB store was misused."""
 
 
+class CorruptedBlockError(StorageError):
+    """A block payload failed its CRC integrity check (torn write / bad
+    read).  Transient by convention: a re-read of the same block may
+    succeed, so retry policies treat it as retryable."""
+
+
+class StorageUnavailable(StorageError):
+    """Storage reads kept failing past the retry budget, or the circuit
+    breaker is open and failing fast.  Callers that can degrade (the
+    progressive evaluator, :meth:`QueryService.submit_degradable`) catch
+    this and return their best estimate instead."""
+
+
 class QueryError(AIMSError):
     """A range-sum / ProPolyne query is malformed or unanswerable."""
 

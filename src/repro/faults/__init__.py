@@ -1,0 +1,43 @@
+"""repro.faults — fault injection and graceful degradation.
+
+The third leg of the "heavy traffic" north star, next to observability
+(:mod:`repro.obs`) and concurrency (:mod:`repro.query.service`):
+controlled failure and bounded recovery.
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` (seeded deterministic
+  fault schedules) and :class:`FaultyDisk` (a simulated disk injecting
+  read/write errors, CRC-detected torn blocks, and latency spikes);
+* :mod:`repro.faults.retry` — :class:`RetryPolicy`, exponential backoff
+  with jitter under a hard total-sleep budget;
+* :mod:`repro.faults.breaker` — :class:`CircuitBreaker`, fast failure
+  for persistent outages with half-open recovery probes;
+* :mod:`repro.faults.resilience` — :class:`ResilientCaller`, the
+  retry+breaker stack the block stores thread their reads through.
+
+Degradation semantics, tuning knobs and the ``faults.*`` / ``retry.*``
+/ ``breaker.*`` metric catalogue are documented in
+``docs/OPERATIONS.md``.
+"""
+
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.plan import (
+    FaultPlan,
+    FaultyDisk,
+    InjectedFault,
+    InjectedReadError,
+    InjectedWriteError,
+)
+from repro.faults.resilience import ResilientCaller
+from repro.faults.retry import TRANSIENT_ERRORS, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultPlan",
+    "FaultyDisk",
+    "InjectedFault",
+    "InjectedReadError",
+    "InjectedWriteError",
+    "ResilientCaller",
+    "RetryPolicy",
+    "TRANSIENT_ERRORS",
+]

@@ -1,0 +1,205 @@
+"""Deterministic fault injection for the simulated storage device.
+
+Large immersive deployments owe their robustness to being *exercised*
+against failure: sensors drop out mid-session, disks return garbage or
+stall, and the pipeline has to keep answering queries.  This module
+makes those failures reproducible: a :class:`FaultPlan` is a seeded
+schedule of injected faults, and :class:`FaultyDisk` is a drop-in
+:class:`~repro.storage.disk.SimulatedDisk` that consults the plan on
+every read and write.
+
+Three read-fault kinds are injected:
+
+* ``error`` — the read raises :class:`InjectedReadError` (an ``OSError``
+  subclass, so generic I/O handling sees a plain I/O failure);
+* ``torn`` — the block's payload is decoded through the CRC block codec
+  with one byte flipped, so it surfaces as
+  :class:`~repro.core.errors.CorruptedBlockError` — the codec's
+  checksum, not luck, is what catches the damage;
+* ``latency`` — the read sleeps an extra spike before returning (taken
+  outside the device lock, like the base device's seek latency).
+
+Determinism: every decision comes from one seeded RNG drawn in
+operation order under the plan's lock, so the same seed driving the
+same operation sequence replays the identical fault schedule — the
+property the replay test asserts via :attr:`FaultPlan.history`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.errors import StorageError
+from repro.obs import counter as obs_counter
+from repro.storage.codec import decode_block, encode_block
+from repro.storage.disk import SimulatedDisk
+
+__all__ = [
+    "FaultPlan",
+    "FaultyDisk",
+    "InjectedFault",
+    "InjectedReadError",
+    "InjectedWriteError",
+]
+
+
+class InjectedFault(StorageError, OSError):
+    """Base class for injected I/O failures.
+
+    Deliberately both a :class:`~repro.core.errors.StorageError` (the
+    library's hierarchy) and an :class:`OSError` (what real device I/O
+    raises), so production-style ``except OSError`` handling and retry
+    policies treat injected faults exactly like real ones.
+    """
+
+
+class InjectedReadError(InjectedFault):
+    """A read the fault plan decided should fail."""
+
+
+class InjectedWriteError(InjectedFault):
+    """A write the fault plan decided should fail."""
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic schedule of storage faults.
+
+    Rates are independent per-operation probabilities partitioning one
+    uniform draw, so their sum must stay within ``[0, 1]``.  With every
+    rate zero the plan never injects anything (the control row of the
+    fault-sweep benchmark).
+
+    Attributes:
+        seed: RNG seed; equal seeds replay equal schedules.
+        read_error_rate: Fraction of reads raising
+            :class:`InjectedReadError`.
+        torn_rate: Fraction of reads returning a corrupted payload
+            (caught by the block codec's CRC).
+        latency_spike_rate: Fraction of reads sleeping an extra
+            ``latency_spike_s``.
+        latency_spike_s: Spike duration (seconds).
+        write_error_rate: Fraction of writes raising
+            :class:`InjectedWriteError`.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    torn_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_s: float = 0.005
+    write_error_rate: float = 0.0
+    #: Recent (operation index, fault kind) decisions, newest last;
+    #: ``kind`` is ``None`` for clean operations.  Bounded, for the
+    #: replay test and post-mortem inspection.
+    history: deque = field(default_factory=lambda: deque(maxlen=4096))
+
+    def __post_init__(self) -> None:
+        for name in ("read_error_rate", "torn_rate", "latency_spike_rate",
+                     "write_error_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise StorageError(f"{name} must be in [0, 1], got {rate}")
+        if self.read_error_rate + self.torn_rate + self.latency_spike_rate > 1.0:
+            raise StorageError(
+                "read fault rates sum past 1.0; they partition one draw"
+            )
+        if self.latency_spike_s < 0:
+            raise StorageError(
+                f"latency_spike_s must be >= 0, got {self.latency_spike_s}"
+            )
+        self._lock = threading.Lock()
+        self._rng = random.Random(self.seed)
+        self._ops = 0
+
+    def reset(self) -> None:
+        """Rewind to operation zero: the schedule replays from the top."""
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self._ops = 0
+            self.history.clear()
+
+    def _record(self, kind: str | None) -> str | None:
+        self.history.append((self._ops, kind))
+        self._ops += 1
+        return kind
+
+    def read_fault(self) -> str | None:
+        """Decide the next read's fate: ``"error"``/``"torn"``/``"latency"``
+        or ``None`` for a clean read."""
+        with self._lock:
+            u = self._rng.random()
+            if u < self.read_error_rate:
+                return self._record("error")
+            if u < self.read_error_rate + self.torn_rate:
+                return self._record("torn")
+            if (u < self.read_error_rate + self.torn_rate
+                    + self.latency_spike_rate):
+                return self._record("latency")
+            return self._record(None)
+
+    def write_fault(self) -> bool:
+        """Decide whether the next write fails."""
+        with self._lock:
+            failed = self._rng.random() < self.write_error_rate
+            self._record("write_error" if failed else None)
+            return failed
+
+
+@dataclass
+class FaultyDisk(SimulatedDisk):
+    """A :class:`~repro.storage.disk.SimulatedDisk` that injects faults.
+
+    Drop-in: with ``plan`` ``None`` (or ``injecting`` False) every
+    operation behaves bit-for-bit like the base device, which is what
+    keeps the no-fault path of the resilience stack regression-clean.
+    Torn reads round-trip the payload through the CRC block codec with a
+    flipped byte, so corruption is *detected* (raising
+    :class:`~repro.core.errors.CorruptedBlockError`), never silently
+    returned.  Fault decisions and sleeps happen outside the device
+    lock, preserving the base class's overlap of concurrent reads.
+    """
+
+    plan: FaultPlan | None = None
+    #: Master switch: stores flip this off while writing their initial
+    #: population (those writes model in-memory construction, not live
+    #: traffic) and back on afterwards.
+    injecting: bool = True
+
+    def _active_plan(self) -> FaultPlan | None:
+        return self.plan if (self.plan is not None and self.injecting) else None
+
+    def write_block(self, block_id, items: dict) -> None:
+        """Store one block, unless the plan injects a write failure."""
+        plan = self._active_plan()
+        if plan is not None and plan.write_fault():
+            obs_counter("faults.injected.write_errors").inc()
+            raise InjectedWriteError(
+                f"injected write failure on block {block_id!r}"
+            )
+        super().write_block(block_id, items)
+
+    def _fetch(self, block_id) -> dict:
+        plan = self._active_plan()
+        kind = plan.read_fault() if plan is not None else None
+        if kind == "error":
+            obs_counter("faults.injected.read_errors").inc()
+            raise InjectedReadError(
+                f"injected read failure on block {block_id!r}"
+            )
+        if kind == "latency":
+            obs_counter("faults.injected.latency_spikes").inc()
+            time.sleep(plan.latency_spike_s)
+        block = super()._fetch(block_id)
+        if kind == "torn":
+            obs_counter("faults.injected.torn_blocks").inc()
+            frame = bytearray(encode_block(block))
+            # Flip one byte inside the body (past the 8-byte header), as
+            # a torn sector write would; decode_block's CRC catches it.
+            frame[max(8, len(frame) // 2)] ^= 0xFF
+            return decode_block(bytes(frame))
+        return block

@@ -1,0 +1,74 @@
+"""The resilience stack: retry + circuit breaker around one operation.
+
+:class:`ResilientCaller` is what the block stores thread their reads
+through: the breaker decides whether the call may run at all, the retry
+policy absorbs transient faults, and every terminal failure comes out
+as one typed :class:`~repro.core.errors.StorageUnavailable` — the
+signal the query layer degrades on.  Fault flow::
+
+    FaultyDisk ──(transient error)──► RetryPolicy ──(budget spent)──┐
+                                                                    ▼
+    caller ◄──(StorageUnavailable)── CircuitBreaker ◄── record_failure
+
+With neither a policy nor a breaker configured the caller is a plain
+pass-through, adding nothing to the no-fault hot path.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import StorageUnavailable
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.retry import TRANSIENT_ERRORS, RetryPolicy
+
+__all__ = ["ResilientCaller"]
+
+
+class ResilientCaller:
+    """Guard one callable with retries and a circuit breaker.
+
+    The breaker counts whole *operations* (a read plus all its
+    retries), not individual attempts: a read that recovers on retry is
+    a success, and only a read whose full retry schedule failed pushes
+    the breaker toward open.
+
+    Args:
+        policy: Retry schedule; ``None`` means a single attempt.
+        breaker: Shared circuit breaker; ``None`` disables fast-fail.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        self.policy = policy
+        self.breaker = breaker
+
+    def call(self, fn, *args):
+        """Run ``fn(*args)`` under the breaker + retry discipline.
+
+        Raises :class:`~repro.core.errors.StorageUnavailable` when the
+        breaker is open or when every attempt failed with a transient
+        error.  Non-transient errors propagate unchanged and do not
+        count against the breaker (a missing block is a caller bug, not
+        an availability event).
+        """
+        if self.breaker is not None and not self.breaker.allow():
+            raise StorageUnavailable(
+                f"circuit breaker {self.breaker.name!r} is "
+                f"{self.breaker.state}; failing fast"
+            )
+        try:
+            if self.policy is None:
+                result = fn(*args)
+            else:
+                result = self.policy.execute(fn, *args)
+        except TRANSIENT_ERRORS as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise StorageUnavailable(
+                f"storage read kept failing past the retry budget: {exc}"
+            ) from exc
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return result

@@ -24,12 +24,13 @@ The pipeline:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
-from repro.core.errors import QueryError
+from repro.core.errors import QueryError, StorageUnavailable
 from repro.obs import DEFAULT_COUNT_BUCKETS
 from repro.obs import counter as obs_counter
 from repro.obs import histogram as obs_histogram
@@ -46,6 +47,7 @@ from repro.wavelets.tensor import tensor_wavedec
 __all__ = [
     "ProgressiveEstimate",
     "ProPolyneEngine",
+    "QueryOutcome",
     "pad_to_pow2",
     "translate_query",
 ]
@@ -168,6 +170,36 @@ class ProgressiveEstimate:
         return (self.estimate - half, self.estimate + half)
 
 
+@dataclass(frozen=True)
+class QueryOutcome:
+    """What a degradation-aware evaluation actually delivered.
+
+    A degraded answer is never silent: ``degraded`` is explicit, the
+    guaranteed ``error_bound`` is always finite, and ``reason`` names
+    what cut the evaluation short.
+
+    Attributes:
+        value: The answer — exact when ``degraded`` is False, otherwise
+            the best progressive estimate computed before the cutoff.
+        degraded: True when the evaluation could not run to completion.
+        error_bound: Guaranteed ceiling on ``|value - exact|`` (0.0 for
+            an exact answer).
+        error_estimate: Probabilistic one-sigma error forecast (0.0 for
+            an exact answer).
+        blocks_read: Disk blocks fetched before delivering.
+        reason: ``None`` (exact), ``"deadline"`` (per-query deadline
+            hit) or ``"storage_unavailable"`` (retries exhausted or the
+            circuit breaker is open).
+    """
+
+    value: float
+    degraded: bool
+    error_bound: float
+    error_estimate: float
+    blocks_read: int
+    reason: str | None = None
+
+
 class ProPolyneEngine:
     """A populated ProPolyne data cube.
 
@@ -179,6 +211,12 @@ class ProPolyneEngine:
             queries transform sparsely.
         block_size: Per-axis virtual block size for the tiling allocation.
         pool_capacity: Optional buffer-pool size (blocks).
+        fault_plan: Optional :class:`~repro.faults.plan.FaultPlan` — the
+            store's device injects faults per that schedule.
+        retry_policy: Optional :class:`~repro.faults.retry.RetryPolicy`
+            absorbing transient read faults.
+        breaker: Optional :class:`~repro.faults.breaker.CircuitBreaker`
+            failing reads fast during persistent outages.
     """
 
     def __init__(
@@ -187,6 +225,9 @@ class ProPolyneEngine:
         max_degree: int = 2,
         block_size: int = 7,
         pool_capacity: int | None = None,
+        fault_plan=None,
+        retry_policy=None,
+        breaker=None,
     ) -> None:
         if max_degree < 0:
             raise QueryError(f"max_degree must be >= 0, got {max_degree}")
@@ -212,8 +253,14 @@ class ProPolyneEngine:
             )
         )
         self.store = TensorBlockStore(
-            coeffs, allocation, pool_capacity=pool_capacity
+            coeffs,
+            allocation,
+            pool_capacity=pool_capacity,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            breaker=breaker,
         )
+        self.breaker = breaker
         blocks = allocation.build_blocks(coeffs)
         self._block_norms = {
             block_id: float(math.sqrt(sum(v * v for v in items.values())))
@@ -258,21 +305,21 @@ class ProPolyneEngine:
                 sum(qval * stored[idx] for idx, qval in entries.items())
             )
 
-    def evaluate_progressive(
-        self,
-        query: RangeSumQuery,
-        importance: str = "l2",
-    ) -> Iterator[ProgressiveEstimate]:
-        """Progressive evaluation: one estimate per fetched block.
+    def _progressive_steps(
+        self, entries: dict, importance: str = "l2"
+    ) -> Iterator[tuple]:
+        """The progressive evaluation loop, one step per fetched block.
 
-        Blocks arrive in decreasing query importance; each estimate's
-        ``error_bound`` is the summed per-block Cauchy–Schwarz ceiling for
-        everything not yet fetched — a guarantee, not a heuristic.
+        Yields ``(estimate, plan, block, remaining)`` tuples; the first
+        yield is a zero-I/O priming step (``plan``/``block`` ``None``)
+        carrying the total a-priori error bound, and ``remaining``
+        counts the blocks still unfetched after the step.  Both
+        :meth:`evaluate_progressive` (which drops the priming step and
+        the payloads) and :meth:`evaluate_degradable` (which needs the
+        payloads for the exact final sum and the priming bound for
+        zero-block degradation) consume this generator, so the two
+        paths can never drift apart numerically.
         """
-        entries = self.query_entries(query)
-        if not entries:
-            yield ProgressiveEstimate(0.0, 0.0, 0.0, 0, 0)
-            return
         plans = plan_blocks(
             entries, self.store.allocation.block_of, importance=importance
         )
@@ -312,6 +359,21 @@ class ProPolyneEngine:
         obs_histogram(
             "query.blocks_per_query", DEFAULT_COUNT_BUCKETS
         ).observe(len(plans))
+        priming_bound = max(0.0, remaining_bound)
+        yield (
+            ProgressiveEstimate(
+                estimate=0.0,
+                error_bound=priming_bound,
+                error_estimate=min(
+                    math.sqrt(max(0.0, remaining_variance)), priming_bound
+                ),
+                blocks_read=0,
+                coefficients_used=0,
+            ),
+            None,
+            None,
+            len(plans),
+        )
         estimate = 0.0
         used = 0
         for step, plan in enumerate(plans, start=1):
@@ -329,17 +391,127 @@ class ProPolyneEngine:
                 self._block_sizes.get(plan.block_id, 1), 1
             )
             bound = max(0.0, remaining_bound)
-            yield ProgressiveEstimate(
-                estimate=estimate,
-                error_bound=bound,
-                # The forecast can never legitimately exceed the hard
-                # guarantee; clamping also absorbs accumulator float dust.
-                error_estimate=min(
-                    math.sqrt(max(0.0, remaining_variance)), bound
+            yield (
+                ProgressiveEstimate(
+                    estimate=estimate,
+                    error_bound=bound,
+                    # The forecast can never legitimately exceed the hard
+                    # guarantee; clamping also absorbs accumulator float
+                    # dust.
+                    error_estimate=min(
+                        math.sqrt(max(0.0, remaining_variance)), bound
+                    ),
+                    blocks_read=step,
+                    coefficients_used=used,
                 ),
-                blocks_read=step,
-                coefficients_used=used,
+                plan,
+                block,
+                len(plans) - step,
             )
+
+    def evaluate_progressive(
+        self,
+        query: RangeSumQuery,
+        importance: str = "l2",
+    ) -> Iterator[ProgressiveEstimate]:
+        """Progressive evaluation: one estimate per fetched block.
+
+        Blocks arrive in decreasing query importance; each estimate's
+        ``error_bound`` is the summed per-block Cauchy–Schwarz ceiling for
+        everything not yet fetched — a guarantee, not a heuristic.
+        """
+        entries = self.query_entries(query)
+        if not entries:
+            yield ProgressiveEstimate(0.0, 0.0, 0.0, 0, 0)
+            return
+        steps = self._progressive_steps(entries, importance)
+        next(steps)  # the zero-I/O priming step is not an estimate
+        for est, _plan, _block, _remaining in steps:
+            yield est
+
+    def evaluate_degradable(
+        self,
+        query: RangeSumQuery,
+        deadline_s: float | None = None,
+        importance: str = "l2",
+        clock=time.monotonic,
+    ) -> QueryOutcome:
+        """Exact evaluation that degrades instead of failing or stalling.
+
+        Consumes blocks progressively (best-first, so an early cutoff
+        keeps the most valuable I/O); when every block arrived, the
+        answer is recomputed as the same inner product, in the same
+        term order, as :meth:`evaluate_exact` — bitwise-identical to
+        the plain exact path.  Two things cut the evaluation short,
+        both producing an explicit degraded outcome rather than an
+        exception or a silent wrong answer:
+
+        * the per-query ``deadline_s`` elapses with blocks still
+          unfetched (checked between block fetches — the evaluation
+          never abandons a block mid-read);
+        * storage becomes unavailable
+          (:class:`~repro.core.errors.StorageUnavailable` from the
+          retry/breaker stack).
+
+        Args:
+            query: The range-sum to evaluate.
+            deadline_s: Wall-clock allowance, measured from this call.
+            importance: Block-ordering objective (``"l2"``/``"linf"``).
+            clock: Injectable monotonic clock (tests pin time).
+
+        Returns:
+            A :class:`QueryOutcome`; ``degraded`` outcomes carry the
+            best estimate so far with a finite guaranteed error bound.
+        """
+        entries = self.query_entries(query)
+        if not entries:
+            return QueryOutcome(0.0, False, 0.0, 0.0, 0, None)
+        started = clock()
+        steps = self._progressive_steps(entries, importance)
+        stored: dict = {}
+        last: ProgressiveEstimate | None = None
+        reason: str | None = None
+        while True:
+            try:
+                est, plan, block, remaining = next(steps)
+            except StopIteration:
+                break
+            except StorageUnavailable:
+                reason = "storage_unavailable"
+                break
+            last = est
+            if plan is not None:
+                for idx in plan.entries:
+                    stored[idx] = block[idx]
+            if (
+                reason is None
+                and deadline_s is not None
+                and remaining > 0
+                and clock() - started >= deadline_s
+            ):
+                reason = "deadline"
+                break
+        if reason is None:
+            # Same term order as evaluate_exact: bitwise-identical value.
+            value = float(
+                sum(qval * stored[idx] for idx, qval in entries.items())
+            )
+            return QueryOutcome(
+                value, False, 0.0, 0.0,
+                last.blocks_read if last is not None else 0, None,
+            )
+        # The priming step precedes any I/O, so a storage fault or
+        # deadline can only fire with ``last`` populated.
+        obs_counter("query.degraded").inc()
+        obs_counter(f"query.degraded.{reason}").inc()
+        return QueryOutcome(
+            value=last.estimate,
+            degraded=True,
+            error_bound=last.error_bound,
+            error_estimate=last.error_estimate,
+            blocks_read=last.blocks_read,
+            reason=reason,
+        )
 
     def to_coefficients(self) -> np.ndarray:
         """Dense coefficient cube read back from the block store.

@@ -43,7 +43,11 @@ from repro.obs import DEFAULT_COUNT_BUCKETS, DEFAULT_LATENCY_BUCKETS
 from repro.obs import counter as obs_counter
 from repro.obs import gauge as obs_gauge
 from repro.obs import histogram as obs_histogram
-from repro.query.propolyne import ProgressiveEstimate, ProPolyneEngine
+from repro.query.propolyne import (
+    ProgressiveEstimate,
+    ProPolyneEngine,
+    QueryOutcome,
+)
 from repro.query.rangesum import RangeSumQuery
 
 __all__ = [
@@ -234,16 +238,19 @@ class ProgressiveStream:
 
 
 class _Task:
-    """One admitted query: kind, payload, and its result sink."""
+    """One admitted query: kind, payload, deadline, and its result sink."""
 
-    __slots__ = ("kind", "query", "importance", "future", "stream")
+    __slots__ = ("kind", "query", "importance", "future", "stream", "deadline_s")
 
-    def __init__(self, kind, query, importance, future, stream) -> None:
+    def __init__(
+        self, kind, query, importance, future, stream, deadline_s=None
+    ) -> None:
         self.kind = kind
         self.query = query
         self.importance = importance
         self.future = future
         self.stream = stream
+        self.deadline_s = deadline_s
 
 
 _SHUTDOWN = object()
@@ -263,9 +270,12 @@ class QueryService:
         share_scans: Set False to evaluate against the engine's plain
             store (no cross-query deduplication) — the baseline the
             concurrency benchmark compares against.
+        default_deadline_s: Deadline applied to
+            :meth:`submit_degradable` tasks that do not carry their
+            own; ``None`` means no deadline.
 
     Metrics: ``query.service.submitted`` / ``completed`` / ``rejected``
-    counters, a ``query.service.queue_depth`` gauge, the
+    / ``degraded`` counters, a ``query.service.queue_depth`` gauge, the
     ``query.service.latency.seconds`` histogram (per-query wall time,
     admission to completion), and ``query.service.scan.fetches`` /
     ``scan.shared`` from the coordinator.
@@ -277,6 +287,7 @@ class QueryService:
         workers: int = 4,
         queue_depth: int = 64,
         share_scans: bool = True,
+        default_deadline_s: float | None = None,
     ) -> None:
         if workers < 1:
             raise QueryError(f"worker count must be >= 1, got {workers}")
@@ -288,9 +299,15 @@ class QueryService:
         self.coordinator = (
             self.engine.store.coordinator if share_scans else None
         )
+        if default_deadline_s is not None and default_deadline_s < 0:
+            raise QueryError(
+                f"default deadline must be >= 0, got {default_deadline_s}"
+            )
+        self.default_deadline_s = default_deadline_s
         self.queue_depth = queue_depth
         self.rejected = 0
         self.completed = 0
+        self.degraded = 0
         self._tasks: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._closed = False
         self._lock = threading.Lock()
@@ -318,6 +335,41 @@ class QueryService:
                 :class:`QueryRejected` on overload.
         """
         task = _Task("exact", query, "l2", Future(), None)
+        self._admit(task, block)
+        return task.future
+
+    def submit_degradable(
+        self,
+        query: RangeSumQuery,
+        deadline_s: float | None = None,
+        importance: str = "l2",
+        block: bool = False,
+    ) -> Future:
+        """Enqueue a degradation-aware exact query; the future resolves
+        to a :class:`~repro.query.propolyne.QueryOutcome`.
+
+        Unlike :meth:`submit_exact` — which propagates storage failures
+        as exceptions — this path downgrades to the best progressive
+        estimate computed so far when the deadline elapses or storage
+        becomes unavailable, flagged with ``degraded=True`` and a finite
+        guaranteed error bound.  On the no-fault path the outcome's
+        value is bitwise-identical to :meth:`submit_exact`'s.
+
+        Args:
+            query: The range-sum to evaluate.
+            deadline_s: Per-query wall-clock allowance, measured from
+                evaluation start (defaults to the service's
+                ``default_deadline_s``).
+            importance: Block-ordering objective, as in
+                :meth:`ProPolyneEngine.evaluate_progressive`.
+            block: When True, wait for queue space instead of raising
+                :class:`QueryRejected` on overload.
+        """
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        task = _Task(
+            "degradable", query, importance, Future(), None, deadline_s
+        )
         self._admit(task, block)
         return task.future
 
@@ -380,6 +432,17 @@ class QueryService:
                     task.future.set_result(
                         self.engine.evaluate_exact(task.query)
                     )
+                elif task.kind == "degradable":
+                    outcome: QueryOutcome = self.engine.evaluate_degradable(
+                        task.query,
+                        deadline_s=task.deadline_s,
+                        importance=task.importance,
+                    )
+                    if outcome.degraded:
+                        with self._lock:
+                            self.degraded += 1
+                        obs_counter("query.service.degraded").inc()
+                    task.future.set_result(outcome)
                 else:
                     final = None
                     for estimate in self.engine.evaluate_progressive(

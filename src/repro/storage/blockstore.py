@@ -7,6 +7,18 @@ these coefficients, and tell me what it cost".  Two variants:
 * :class:`WaveletBlockStore` — 1-D flat-layout coefficient vectors;
 * :class:`TensorBlockStore` — multivariate coefficient cubes on
   Cartesian-product blocks.
+
+Resilience: both stores optionally take a
+:class:`~repro.faults.plan.FaultPlan` (the disk becomes a
+:class:`~repro.faults.plan.FaultyDisk`), a
+:class:`~repro.faults.retry.RetryPolicy` and a
+:class:`~repro.faults.breaker.CircuitBreaker`; every read — through the
+buffer pool or straight off the device — then runs under the
+retry+breaker stack, so transient faults are absorbed and persistent
+ones surface as one typed
+:class:`~repro.core.errors.StorageUnavailable`.  With none of the three
+configured, construction and reads are exactly the pre-resilience code
+path (regression-tested to be bitwise-identical).
 """
 
 from __future__ import annotations
@@ -24,6 +36,25 @@ from repro.storage.disk import IOStats, SimulatedDisk
 __all__ = ["WaveletBlockStore", "TensorBlockStore"]
 
 
+def _build_disk(block_size: int, fault_plan):
+    """The store's device: plain, or fault-injecting when a plan is set."""
+    if fault_plan is None:
+        return SimulatedDisk(block_size=block_size)
+    from repro.faults.plan import FaultyDisk
+
+    return FaultyDisk(block_size=block_size, plan=fault_plan)
+
+
+def _build_resilience(retry_policy, breaker):
+    """The read guard: ``None`` (pass-through) unless retries or a
+    breaker were configured."""
+    if retry_policy is None and breaker is None:
+        return None
+    from repro.faults.resilience import ResilientCaller
+
+    return ResilientCaller(retry_policy, breaker)
+
+
 class WaveletBlockStore:
     """1-D wavelet coefficients on disk, under a chosen allocation."""
 
@@ -32,6 +63,9 @@ class WaveletBlockStore:
         flat: np.ndarray,
         allocation: Allocation,
         pool_capacity: int | None = None,
+        fault_plan=None,
+        retry_policy=None,
+        breaker=None,
     ) -> None:
         values = np.asarray(flat, dtype=float)
         if values.size != allocation.n:
@@ -40,9 +74,17 @@ class WaveletBlockStore:
                 f"{allocation.n}"
             )
         self.allocation = allocation
-        self.disk = SimulatedDisk(block_size=allocation.block_size)
+        self.disk = _build_disk(allocation.block_size, fault_plan)
+        self.breaker = breaker
+        self._resilience = _build_resilience(retry_policy, breaker)
+        # Initial population models in-memory construction, not live
+        # traffic: injection starts only once the store is serving.
+        if fault_plan is not None:
+            self.disk.injecting = False
         for block_id, items in allocation.build_blocks(values).items():
             self.disk.write_block(block_id, items)
+        if fault_plan is not None:
+            self.disk.injecting = True
         self._pool = (
             BufferPool(self.disk, pool_capacity) if pool_capacity else None
         )
@@ -68,9 +110,14 @@ class WaveletBlockStore:
         return self.disk.stats.delta(before)
 
     def _read(self, block_id: int) -> dict:
-        if self._pool is not None:
-            return self._pool.read_block(block_id)
-        return self.disk.read_block(block_id)
+        reader = (
+            self._pool.read_block
+            if self._pool is not None
+            else self.disk.read_block
+        )
+        if self._resilience is None:
+            return reader(block_id)
+        return self._resilience.call(reader, block_id)
 
     def fetch(self, indices: list[int] | set[int]) -> dict[int, float]:
         """Fetch the requested coefficients, reading whole blocks."""
@@ -117,6 +164,9 @@ class TensorBlockStore:
         coeffs: np.ndarray,
         allocation: TensorAllocation,
         pool_capacity: int | None = None,
+        fault_plan=None,
+        retry_policy=None,
+        breaker=None,
     ) -> None:
         cube = np.asarray(coeffs, dtype=float)
         if cube.shape != allocation.shape:
@@ -125,9 +175,15 @@ class TensorBlockStore:
                 f"{allocation.shape}"
             )
         self.allocation = allocation
-        self.disk = SimulatedDisk(block_size=allocation.block_capacity)
+        self.disk = _build_disk(allocation.block_capacity, fault_plan)
+        self.breaker = breaker
+        self._resilience = _build_resilience(retry_policy, breaker)
+        if fault_plan is not None:
+            self.disk.injecting = False
         for block_id, items in allocation.build_blocks(cube).items():
             self.disk.write_block(block_id, items)
+        if fault_plan is not None:
+            self.disk.injecting = True
         self._pool = (
             BufferPool(self.disk, pool_capacity) if pool_capacity else None
         )
@@ -152,9 +208,14 @@ class TensorBlockStore:
         return self.disk.stats.delta(before)
 
     def _read(self, block_id: tuple[int, ...]) -> dict:
-        if self._pool is not None:
-            return self._pool.read_block(block_id)
-        return self.disk.read_block(block_id)
+        reader = (
+            self._pool.read_block
+            if self._pool is not None
+            else self.disk.read_block
+        )
+        if self._resilience is None:
+            return reader(block_id)
+        return self._resilience.call(reader, block_id)
 
     def fetch(
         self, indices: list[tuple[int, ...]]

@@ -1,6 +1,7 @@
 """Continuous-data-stream substrate: samples, frames, sources, windows."""
 
 from repro.streams.buffer import AcquisitionStats, DoubleBuffer
+from repro.streams.dropout import GapFiller
 from repro.streams.jitter import perturb_timing
 from repro.streams.multiplex import demultiplex, multiplex
 from repro.streams.sample import Frame, Sample, frames_to_matrix
@@ -28,4 +29,5 @@ __all__ = [
     "demultiplex",
     "DoubleBuffer",
     "AcquisitionStats",
+    "GapFiller",
 ]

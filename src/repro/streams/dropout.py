@@ -1,0 +1,69 @@
+"""Sensor-dropout repair for frame streams.
+
+Real glove/tracker sessions lose individual sensor channels for a few
+ticks at a time (loose connector, radio glitch); the reading arrives as
+NaN.  Downstream consumers — wavelet transforms, SVD similarity, the
+adaptive sampler's spectral estimator — all assume finite values, so a
+raw dropout would either crash the pipeline or silently poison every
+coefficient it touches.
+
+:class:`GapFiller` sits between a source and its consumer and repairs
+gaps *causally* (hold last good value — the stream is single-pass, so
+looking ahead is not an option).  Every repaired reading is counted, per
+stream in :attr:`GapFiller.gaps_filled` and process-wide in the
+``faults.sensor_dropouts`` counter, so an operator can tell a clean
+session from a patched one (see ``docs/OPERATIONS.md``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.obs import counter as obs_counter
+from repro.streams.sample import Frame
+
+__all__ = ["GapFiller"]
+
+
+class GapFiller:
+    """Wrap a frame iterable, replacing NaN readings with each sensor's
+    last good value.
+
+    A sensor that has never reported a finite value reads as
+    ``fill_value`` (default ``0.0``) until its first good tick — the
+    neutral choice for zero-centred sensor data, and explicit rather
+    than silent: those repairs are counted too.
+
+    Args:
+        frames: Any iterable of :class:`~repro.streams.sample.Frame`
+            (a :class:`~repro.streams.source.StreamSource` included).
+        fill_value: Stand-in for sensors with no good reading yet.
+    """
+
+    def __init__(
+        self, frames: Iterable[Frame], fill_value: float = 0.0
+    ) -> None:
+        self._frames = frames
+        self._fill_value = float(fill_value)
+        self.gaps_filled = 0
+        self.frames_patched = 0
+
+    def __iter__(self) -> Iterator[Frame]:
+        last_good: np.ndarray | None = None
+        dropouts = obs_counter("faults.sensor_dropouts")
+        for frame in self._frames:
+            values = frame.as_array()
+            if last_good is None:
+                last_good = np.full(values.shape, self._fill_value)
+            gaps = ~np.isfinite(values)
+            if gaps.any():
+                n = int(gaps.sum())
+                self.gaps_filled += n
+                self.frames_patched += 1
+                dropouts.inc(n)
+                values = np.where(gaps, last_good, values)
+                frame = Frame.from_array(frame.timestamp, values)
+            last_good = values
+            yield frame

@@ -35,7 +35,7 @@ class TestPublicApi:
     def test_subpackages_importable(self):
         for sub in (
             "core", "streams", "sensors", "wavelets", "acquisition",
-            "storage", "query", "online", "analysis",
+            "storage", "query", "online", "analysis", "obs", "faults",
         ):
             importlib.import_module(f"repro.{sub}")
 

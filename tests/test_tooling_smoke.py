@@ -1,8 +1,9 @@
-"""Smoke tests for the observability tooling surface.
+"""Smoke tests for the observability and resilience tooling surface.
 
-Exercises the two operator entry points end to end, in subprocesses, the
-way CI does: the ``aims stats`` CLI report (text and JSON forms) and the
-benchmark harness's ``--metrics-json`` sidecar.
+Exercises the operator entry points end to end, in subprocesses, the
+way CI does: the ``aims stats`` CLI report (text and JSON forms), the
+``aims chaos`` resilience drill, and the benchmark harness's
+``--metrics-json`` sidecar.
 """
 
 import json
@@ -58,6 +59,29 @@ class TestStatsCommand:
         assert "storage.pool.occupancy" in proc.stdout
         assert "wavelets.transcache" in proc.stdout
         assert "query.service" in proc.stdout
+        # The resilience drill's series and the breaker-state line.
+        assert "retry.attempts" in proc.stdout
+        assert "faults.injected.read_errors" in proc.stdout
+        assert "breaker 'storage':" in proc.stdout
+
+
+class TestChaosCommand:
+    def test_chaos_drill_exits_zero_under_faults(self):
+        proc = _run("-m", "repro.cli", "chaos", "--fault-rate", "0.05")
+        assert proc.returncode == 0, proc.stderr
+        assert "chaos drill" in proc.stdout
+        assert "breaker" in proc.stdout
+        assert "5% read-fault rate" in proc.stdout
+
+    def test_chaos_fault_free_control_run(self):
+        proc = _run("-m", "repro.cli", "chaos", "--fault-rate", "0")
+        assert proc.returncode == 0, proc.stderr
+        assert "degraded        : 0/" in proc.stdout
+
+    def test_chaos_rejects_out_of_range_rate(self):
+        proc = _run("-m", "repro.cli", "chaos", "--fault-rate", "0.9")
+        assert proc.returncode == 2
+        assert "fault-rate" in proc.stderr
 
 
 class TestMetricsSidecar:
