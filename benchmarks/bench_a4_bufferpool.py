@@ -1,10 +1,11 @@
-"""Ablation A4 — buffer pool and locality of reference.
+"""Ablation A4 — block caching and locality of reference.
 
 §3.2.1's argument for packing dependent coefficients together is that
 repeated query workloads re-touch the same blocks.  This ablation runs a
 drill-down-style workload (overlapping ranges around a hot region) against
-the same cube with and without a buffer pool, under both the tiling and
-the random allocation — locality only pays when the allocation creates it.
+the same cube with and without a caching device layer, under both the
+tiling and
+random allocation — locality only pays when the allocation creates it.
 """
 
 from __future__ import annotations

@@ -4,7 +4,8 @@ The ROADMAP's north star is heavy concurrent traffic at hardware speed;
 this benchmark establishes the perf baseline future PRs must beat.  It
 drives one mixed exact/progressive workload through ``QueryService`` at
 1/2/4/8 workers over a simulated disk with per-read latency (the regime
-where shared scans and the buffer pool matter), then a group-by-heavy
+where shared scans and the caching device layer matter), then a
+group-by-heavy
 workload that measures the translation cache.
 
 Results land in ``benchmarks/results/P1_concurrency.txt`` (table) and in
@@ -24,6 +25,8 @@ import numpy as np
 from repro.query.propolyne import ProPolyneEngine
 from repro.query.rangesum import RangeSumQuery
 from repro.query.service import QueryService
+from repro.storage.device import StorageSpec
+from repro.storage.latency import LatencyModel
 from repro.wavelets.lazy import translation_cache
 
 from conftest import format_table
@@ -38,11 +41,13 @@ POOL_CAPACITY = 16      # small on purpose: the workload must do real I/O
 def build_engine() -> ProPolyneEngine:
     rng = np.random.default_rng(2003)
     cube = rng.poisson(3.0, (64, 64)).astype(float)
-    engine = ProPolyneEngine(
-        cube, max_degree=1, block_size=7, pool_capacity=POOL_CAPACITY
+    return ProPolyneEngine(
+        cube, max_degree=1, block_size=7,
+        storage=StorageSpec(
+            cache_blocks=POOL_CAPACITY,
+            latency=LatencyModel(base_s=DISK_LATENCY_S),
+        ),
     )
-    engine.store.disk.latency_s = DISK_LATENCY_S
-    return engine
 
 
 def mixed_workload(n_exact=32, n_progressive=8, seed=17):
@@ -65,14 +70,14 @@ def reset_caches(engine) -> None:
     """Identical cold-cache start for every worker count."""
     translation_cache().clear()
     translation_cache().reset_stats()
-    if engine.store._pool is not None:
-        engine.store._pool.clear()
+    for cache in engine.store.caches:
+        cache.clear()
 
 
 def run_mixed(engine, workers, exact, progressive) -> dict:
     reset_caches(engine)
-    pool = engine.store._pool
-    pool_before = pool.stats.snapshot()
+    pool = engine.store.caches[0]
+    pool_before = pool.pool_stats.snapshot()
     latencies: list[float] = []
 
     def completion_recorder(submitted_at):
@@ -101,7 +106,7 @@ def run_mixed(engine, workers, exact, progressive) -> dict:
         elapsed = time.perf_counter() - started
         scan = service.scan_stats()
 
-    pool_delta = pool.stats.delta(pool_before)
+    pool_delta = pool.pool_stats.delta(pool_before)
     total = len(exact) + len(progressive)
     return {
         "workers": workers,

@@ -4,8 +4,9 @@ retrieval.
 Walks through the paper's storage story on a real signal: archive a glove
 sensor stream as tiled wavelet blocks, measure the items-per-block
 utilization of tiling against the 1+lg B ceiling and the naive
-allocations, show the buffer pool exploiting the locality tiling creates,
-and stream the signal back progressively with exact residual-energy bars.
+allocations, show the caching device layer exploiting the locality
+tiling creates, and stream the signal back progressively with exact
+residual-energy bars.
 
 Run:
     python examples/storage_tour.py
@@ -47,16 +48,16 @@ def main() -> None:
     print(f"  {'1 + lg B bound':15s}: {utilization_bound(block):.2f}")
 
     # ---- 2. archive + locality ----------------------------------------------
-    print("\n== archive with buffer pool ==")
+    print("\n== archive with a caching device layer ==")
     archive = SignalArchive(signal, wavelet="db2", block_size=7,
                             pool_capacity=1024)
     print(f"signal: {signal.size} samples -> {archive.n_blocks} blocks")
     archive.retrieve_exact()
     before = archive.store.io_snapshot()
-    archive.retrieve_exact()  # second pass: served from the pool
+    archive.retrieve_exact()  # second pass: served from the cache
     print(f"device reads on a repeated full retrieval: "
           f"{archive.store.io_since(before).reads} "
-          f"(working set fits the pool, so the second pass is free)")
+          f"(working set fits the cache, so the second pass is free)")
 
     # ---- 3. progressive retrieval --------------------------------------------
     print("\n== progressive signal retrieval ==")

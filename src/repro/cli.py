@@ -154,10 +154,13 @@ def _atmospheric_count_cube(rng: np.random.Generator, n: int) -> np.ndarray:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Chaos drill: degradable queries against a fault-injected store.
 
-    Exercises the whole resilience stack — FaultyDisk faults, retries,
-    the circuit breaker, and graceful degradation — and prints the
-    outcome.  Always exits 0: a degraded answer with an error bound is
-    the designed behaviour, not a failure.
+    Exercises the whole resilience stack — fault-injecting device
+    middleware, retries, per-shard circuit breakers, and graceful
+    degradation — with storage built from one declarative
+    :class:`~repro.storage.device.StorageSpec` (``--shards`` /
+    ``--cache-blocks`` / ``--fault-rate``).  Always exits 0: a degraded
+    answer with an error bound is the designed behaviour, not a
+    failure.
     """
     from repro import AIMS, AIMSConfig
     from repro.faults import CircuitBreaker, FaultPlan, RetryPolicy
@@ -168,6 +171,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if not 0.0 <= rate <= 0.5:
         print(f"--fault-rate must be in [0, 0.5], got {rate}",
               file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
     rng = np.random.default_rng(args.seed)
     n = 16
@@ -180,7 +186,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         latency_spike_s=0.001,
     )
     breaker = CircuitBreaker(failure_threshold=5, recovery_timeout_s=0.05)
-    system = AIMS(AIMSConfig(pool_capacity=32))
+    system = AIMS(
+        AIMSConfig(pool_capacity=args.cache_blocks, shards=args.shards)
+    )
     engine = system.populate(
         "chaos", cube,
         fault_plan=plan,
@@ -198,6 +206,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             degraded += 1
     print(f"chaos drill: {len(queries)} degradable queries at "
           f"{rate:.0%} read-fault rate")
+    print(f"  storage spec    : {args.shards} shard(s), "
+          f"{args.cache_blocks} cache blocks")
     print(f"  degraded        : {degraded}/{len(queries)} "
           f"(each with a guaranteed error bound)")
     print(f"  retries/recovers: {obs_counter('retry.retries').value:.0f}/"
@@ -206,9 +216,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"{obs_counter('faults.injected.read_errors').value:.0f} read, "
           f"{obs_counter('faults.injected.torn_blocks').value:.0f} torn, "
           f"{obs_counter('faults.injected.latency_spikes').value:.0f} slow")
-    snap = breaker.snapshot()
-    print(f"  breaker         : {snap['state']} "
-          f"(trips={snap['trips']:.0f}, rejections={snap['rejections']:.0f})")
+    breakers = engine.store.breakers or [breaker]
+    snap = breakers[0].snapshot()
+    trips = sum(b.snapshot()["trips"] for b in breakers)
+    rejections = sum(b.snapshot()["rejections"] for b in breakers)
+    state = next(
+        (b.state for b in breakers if b.state != "closed"), snap["state"]
+    )
+    print(f"  breaker         : {state} "
+          f"(trips={trips:.0f}, rejections={rejections:.0f})")
     return 0
 
 
@@ -228,7 +244,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     system.acquire(session, sim.rate_hz)
 
     # Storage + off-line query: populate a cube, run exact, progressive
-    # and derived-aggregate queries through the buffer pool.
+    # and derived-aggregate queries through the caching device layer.
     n = 16
     cube = _atmospheric_count_cube(rng, n)
     engine = system.populate("atm", cube)
@@ -275,18 +291,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     recognizer.process(ArraySource(frames, rate_hz=60.0))
 
-    # Resilience: a short drill against a fault-injected store, so the
-    # faults.* / retry.* / breaker.* series appear in the report (see
-    # docs/OPERATIONS.md for how to read them under load).
+    # Resilience: a short drill against a 4-shard fault-injected device
+    # stack declared as one StorageSpec, so the faults.* / retry.* /
+    # breaker.* series appear in the report (see docs/OPERATIONS.md for
+    # how to read them under load).
     from repro.faults import CircuitBreaker, FaultPlan, RetryPolicy
+    from repro.storage.device import StorageSpec
 
     breaker = CircuitBreaker(failure_threshold=5, recovery_timeout_s=0.05)
     faulty = system.populate(
         "atm-faulty", cube,
-        fault_plan=FaultPlan(seed=args.seed, read_error_rate=0.05,
-                             torn_rate=0.02),
-        retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.0005),
-        breaker=breaker,
+        storage=StorageSpec(
+            shards=4,
+            cache_blocks=16,
+            fault_plan=FaultPlan(seed=args.seed, read_error_rate=0.05,
+                                 torn_rate=0.02),
+            retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.0005),
+            breaker=breaker,
+        ),
     )
     for s in range(0, n, 4):
         faulty.evaluate_degradable(
@@ -300,10 +322,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print("metrics after one acquire -> populate -> query -> "
               "recognize -> chaos pass:")
         print(render_text(registry))
-        snap = breaker.snapshot()
+        # Per-shard breakers: report the first clone, with fleet totals.
+        breakers = faulty.store.breakers or [breaker]
+        snap = breakers[0].snapshot()
         print(f"breaker {snap['name']!r}: {snap['state']} "
               f"(streak={snap['consecutive_failures']}, "
-              f"trips={snap['trips']}, rejections={snap['rejections']})")
+              f"trips={snap['trips']}, rejections={snap['rejections']}) "
+              f"[{len(breakers)} shard breaker(s)]")
     return 0
 
 
@@ -374,6 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="degradable queries to run (default 16)")
     chaos.add_argument("--deadline", type=float, default=None,
                        help="per-query deadline in seconds (default none)")
+    chaos.add_argument("--shards", type=int, default=1,
+                       help="storage shards for the drill (default 1)")
+    chaos.add_argument("--cache-blocks", type=int, default=32,
+                       dest="cache_blocks",
+                       help="block-cache capacity (default 32)")
 
     stats = sub.add_parser(
         "stats",

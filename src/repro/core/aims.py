@@ -60,13 +60,17 @@ class AIMSConfig:
             subsystem must answer exactly.
         block_size: Per-axis virtual disk-block size for coefficient
             tiling.
-        pool_capacity: Optional buffer-pool size in blocks.
+        pool_capacity: Optional block-cache size in blocks (the
+            device stack's caching layer).
+        shards: Number of storage shards each populated cube stripes
+            its blocks across (1 = unsharded).
     """
 
     sampler: str = "adaptive"
     max_degree: int = 2
     block_size: int = 7
     pool_capacity: int | None = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.sampler not in _SAMPLERS:
@@ -74,6 +78,8 @@ class AIMSConfig:
                 f"unknown sampler {self.sampler!r}; pick one of "
                 f"{sorted(_SAMPLERS)}"
             )
+        if self.shards < 1:
+            raise AIMSError(f"shards must be >= 1, got {self.shards}")
 
 
 @dataclass(frozen=True)
@@ -199,27 +205,43 @@ class AIMS:
         fault_plan=None,
         retry_policy=None,
         breaker=None,
+        storage=None,
     ) -> ProPolyneEngine:
         """Transform a frequency cube and put it on tiled block storage.
 
         The resulting engine answers exact, approximate and progressive
-        polynomial range-sums under ``name``.  The optional
-        ``fault_plan`` / ``retry_policy`` / ``breaker`` pass straight
-        through to the engine's block store (see :mod:`repro.faults`):
-        with all three ``None`` the storage path is exactly the
-        pre-resilience one.
+        polynomial range-sums under ``name``.  Storage is built from a
+        declarative :class:`~repro.storage.device.StorageSpec`: either
+        the one passed as ``storage``, or one composed from the config
+        (``shards``/``pool_capacity``) plus the optional
+        ``fault_plan`` / ``retry_policy`` / ``breaker`` knobs (see
+        :mod:`repro.faults`).  With none of them set the storage path
+        is exactly the pre-resilience one.
         """
         if name in self._engines:
             raise AIMSError(f"cube {name!r} already populated")
+        if storage is None:
+            from repro.storage.device import StorageSpec
+
+            storage = StorageSpec(
+                shards=self.config.shards,
+                cache_blocks=self.config.pool_capacity,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
+                breaker=breaker,
+            )
+        elif (fault_plan is not None or retry_policy is not None
+                or breaker is not None):
+            raise AIMSError(
+                "pass either a StorageSpec or fault/retry/breaker "
+                "kwargs, not both"
+            )
         with span("query.populate"):
             engine = ProPolyneEngine(
                 cube,
                 max_degree=self.config.max_degree,
                 block_size=self.config.block_size,
-                pool_capacity=self.config.pool_capacity,
-                fault_plan=fault_plan,
-                retry_policy=retry_policy,
-                breaker=breaker,
+                storage=storage,
             )
         obs_counter("query.cubes_populated").inc()
         self._engines[name] = engine

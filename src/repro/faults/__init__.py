@@ -5,14 +5,17 @@ The third leg of the "heavy traffic" north star, next to observability
 controlled failure and bounded recovery.
 
 * :mod:`repro.faults.plan` — :class:`FaultPlan` (seeded deterministic
-  fault schedules) and :class:`FaultyDisk` (a simulated disk injecting
-  read/write errors, CRC-detected torn blocks, and latency spikes);
+  fault schedules) and :class:`FaultyDevice` (device-stack middleware
+  injecting read/write errors, CRC-detected torn blocks, and latency
+  spikes via the shared :class:`~repro.storage.latency.LatencyModel`);
 * :mod:`repro.faults.retry` — :class:`RetryPolicy`, exponential backoff
   with jitter under a hard total-sleep budget;
 * :mod:`repro.faults.breaker` — :class:`CircuitBreaker`, fast failure
   for persistent outages with half-open recovery probes;
 * :mod:`repro.faults.resilience` — :class:`ResilientCaller`, the
-  retry+breaker stack the block stores thread their reads through.
+  retry+breaker stack the
+  :class:`~repro.storage.device.ResilientDevice` layer threads reads
+  through.
 
 Degradation semantics, tuning knobs and the ``faults.*`` / ``retry.*``
 / ``breaker.*`` metric catalogue are documented in
@@ -22,7 +25,7 @@ Degradation semantics, tuning knobs and the ``faults.*`` / ``retry.*``
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.plan import (
     FaultPlan,
-    FaultyDisk,
+    FaultyDevice,
     InjectedFault,
     InjectedReadError,
     InjectedWriteError,
@@ -33,6 +36,7 @@ from repro.faults.retry import TRANSIENT_ERRORS, RetryPolicy
 __all__ = [
     "CircuitBreaker",
     "FaultPlan",
+    "FaultyDevice",
     "FaultyDisk",
     "InjectedFault",
     "InjectedReadError",
@@ -41,3 +45,22 @@ __all__ = [
     "RetryPolicy",
     "TRANSIENT_ERRORS",
 ]
+
+
+def FaultyDisk(block_size, plan=None, injecting=True, latency_s=0.0):
+    """Deprecated shim for the pre-device-stack ``FaultyDisk`` type.
+
+    The fault-injecting disk subclass was rehomed as
+    :class:`~repro.faults.plan.FaultyDevice` middleware over a plain
+    :class:`~repro.storage.disk.SimulatedDisk`.  This constructor keeps
+    old call sites working by building that two-layer stack; new code
+    should declare faults through
+    :class:`~repro.storage.device.StorageSpec` instead.
+    """
+    from repro.storage.disk import SimulatedDisk
+
+    return FaultyDevice(
+        SimulatedDisk(block_size=block_size, latency_s=latency_s),
+        plan=plan,
+        injecting=injecting,
+    )

@@ -1,46 +1,52 @@
-"""Deterministic fault injection for the simulated storage device.
+"""Deterministic fault injection, as device-stack middleware.
 
 Large immersive deployments owe their robustness to being *exercised*
 against failure: sensors drop out mid-session, disks return garbage or
 stall, and the pipeline has to keep answering queries.  This module
 makes those failures reproducible: a :class:`FaultPlan` is a seeded
-schedule of injected faults, and :class:`FaultyDisk` is a drop-in
-:class:`~repro.storage.disk.SimulatedDisk` that consults the plan on
-every read and write.
+schedule of injected faults, and :class:`FaultyDevice` is a
+:class:`~repro.storage.device.DeviceLayer` that consults the plan on
+every read and write of the device below it.
 
 Three read-fault kinds are injected:
 
 * ``error`` — the read raises :class:`InjectedReadError` (an ``OSError``
   subclass, so generic I/O handling sees a plain I/O failure);
-* ``torn`` — the block's payload is decoded through the CRC block codec
-  with one byte flipped, so it surfaces as
-  :class:`~repro.core.errors.CorruptedBlockError` — the codec's
-  checksum, not luck, is what catches the damage;
-* ``latency`` — the read sleeps an extra spike before returning (taken
-  outside the device lock, like the base device's seek latency).
+* ``torn`` — the block comes back with one byte flipped.  Stacked below
+  a :class:`~repro.storage.device.CrcFramedDevice` (the canonical
+  order), the corrupted *frame* propagates up and the CRC check — not
+  luck — raises :class:`~repro.core.errors.CorruptedBlockError`;
+  without a CRC layer, dictionary payloads are round-tripped through
+  the codec here so corruption is still detected, never silently
+  returned;
+* latency spikes — delegated to the plan's
+  :class:`~repro.storage.latency.LatencyModel` (the same mechanism the
+  leaf device's base seek time uses, so delay budgets can no longer be
+  configured twice in contradiction).
 
-Determinism: every decision comes from one seeded RNG drawn in
-operation order under the plan's lock, so the same seed driving the
+Determinism: every error/torn decision comes from one seeded RNG drawn
+in operation order under the plan's lock, so the same seed driving the
 same operation sequence replays the identical fault schedule — the
-property the replay test asserts via :attr:`FaultPlan.history`.
+property the replay test asserts via :attr:`FaultPlan.history`.  Spike
+draws replay independently from the latency model's own seeded RNG.
 """
 
 from __future__ import annotations
 
 import random
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.errors import StorageError
 from repro.obs import counter as obs_counter
 from repro.storage.codec import decode_block, encode_block
-from repro.storage.disk import SimulatedDisk
+from repro.storage.device import DeviceLayer
+from repro.storage.latency import LatencyModel
 
 __all__ = [
     "FaultPlan",
-    "FaultyDisk",
+    "FaultyDevice",
     "InjectedFault",
     "InjectedReadError",
     "InjectedWriteError",
@@ -69,10 +75,13 @@ class InjectedWriteError(InjectedFault):
 class FaultPlan:
     """A seeded, deterministic schedule of storage faults.
 
-    Rates are independent per-operation probabilities partitioning one
-    uniform draw, so their sum must stay within ``[0, 1]``.  With every
-    rate zero the plan never injects anything (the control row of the
-    fault-sweep benchmark).
+    ``read_error_rate`` and ``torn_rate`` are per-operation
+    probabilities partitioning one uniform draw, so their sum must stay
+    within ``[0, 1]``.  Latency spikes live in the plan's
+    :attr:`latency` model (one :class:`~repro.storage.latency.LatencyModel`
+    owning both rate and duration) and draw from their own seeded
+    stream.  With every rate zero the plan never injects anything (the
+    control row of the fault-sweep benchmark).
 
     Attributes:
         seed: RNG seed; equal seeds replay equal schedules.
@@ -81,10 +90,12 @@ class FaultPlan:
         torn_rate: Fraction of reads returning a corrupted payload
             (caught by the block codec's CRC).
         latency_spike_rate: Fraction of reads sleeping an extra
-            ``latency_spike_s``.
+            ``latency_spike_s`` (folded into :attr:`latency`).
         latency_spike_s: Spike duration (seconds).
         write_error_rate: Fraction of writes raising
             :class:`InjectedWriteError`.
+        latency: The consolidated spike model; built from the two spike
+            fields when not supplied.
     """
 
     seed: int = 0
@@ -93,6 +104,7 @@ class FaultPlan:
     latency_spike_rate: float = 0.0
     latency_spike_s: float = 0.005
     write_error_rate: float = 0.0
+    latency: LatencyModel | None = None
     #: Recent (operation index, fault kind) decisions, newest last;
     #: ``kind`` is ``None`` for clean operations.  Bounded, for the
     #: replay test and post-mortem inspection.
@@ -104,13 +116,19 @@ class FaultPlan:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise StorageError(f"{name} must be in [0, 1], got {rate}")
-        if self.read_error_rate + self.torn_rate + self.latency_spike_rate > 1.0:
+        if self.read_error_rate + self.torn_rate > 1.0:
             raise StorageError(
                 "read fault rates sum past 1.0; they partition one draw"
             )
         if self.latency_spike_s < 0:
             raise StorageError(
                 f"latency_spike_s must be >= 0, got {self.latency_spike_s}"
+            )
+        if self.latency is None:
+            self.latency = LatencyModel(
+                spike_rate=self.latency_spike_rate,
+                spike_s=self.latency_spike_s,
+                seed=self.seed,
             )
         self._lock = threading.Lock()
         self._rng = random.Random(self.seed)
@@ -122,6 +140,7 @@ class FaultPlan:
             self._rng = random.Random(self.seed)
             self._ops = 0
             self.history.clear()
+        self.latency.reset()
 
     def _record(self, kind: str | None) -> str | None:
         self.history.append((self._ops, kind))
@@ -129,17 +148,14 @@ class FaultPlan:
         return kind
 
     def read_fault(self) -> str | None:
-        """Decide the next read's fate: ``"error"``/``"torn"``/``"latency"``
-        or ``None`` for a clean read."""
+        """Decide the next read's fate: ``"error"``/``"torn"`` or
+        ``None`` for a clean read (spikes are the latency model's call)."""
         with self._lock:
             u = self._rng.random()
             if u < self.read_error_rate:
                 return self._record("error")
             if u < self.read_error_rate + self.torn_rate:
                 return self._record("torn")
-            if (u < self.read_error_rate + self.torn_rate
-                    + self.latency_spike_rate):
-                return self._record("latency")
             return self._record(None)
 
     def write_fault(self) -> bool:
@@ -150,30 +166,45 @@ class FaultPlan:
             return failed
 
 
-@dataclass
-class FaultyDisk(SimulatedDisk):
-    """A :class:`~repro.storage.disk.SimulatedDisk` that injects faults.
+def _corrupt_frame(frame: bytes) -> bytes:
+    """One byte of a frame flipped, as a torn sector write would leave
+    it — past the 8-byte ``MAGIC | CRC32`` header so the damage lands in
+    the body and the checksum (not a magic-number check) catches it."""
+    torn = bytearray(frame)
+    torn[max(8, len(torn) // 2) % len(torn)] ^= 0xFF
+    return bytes(torn)
+
+
+class FaultyDevice(DeviceLayer):
+    """Fault-injecting middleware over any block device.
 
     Drop-in: with ``plan`` ``None`` (or ``injecting`` False) every
-    operation behaves bit-for-bit like the base device, which is what
-    keeps the no-fault path of the resilience stack regression-clean.
-    Torn reads round-trip the payload through the CRC block codec with a
-    flipped byte, so corruption is *detected* (raising
+    operation passes straight through, which is what keeps the no-fault
+    path of the resilience stack regression-clean.  Torn reads flip one
+    byte: on framed (bytes) payloads the corrupted frame is returned
+    for the CRC layer above to reject; on raw dictionary payloads the
+    block is round-tripped through the codec here, so either way the
+    damage is *detected* (raising
     :class:`~repro.core.errors.CorruptedBlockError`), never silently
-    returned.  Fault decisions and sleeps happen outside the device
-    lock, preserving the base class's overlap of concurrent reads.
+    returned.  Fault decisions and spike sleeps happen outside any
+    device lock, preserving the leaf's overlap of concurrent reads.
     """
 
-    plan: FaultPlan | None = None
-    #: Master switch: stores flip this off while writing their initial
-    #: population (those writes model in-memory construction, not live
-    #: traffic) and back on afterwards.
-    injecting: bool = True
+    def __init__(self, inner, plan: FaultPlan | None = None,
+                 injecting: bool = True) -> None:
+        super().__init__(inner)
+        self.plan = plan
+        #: Master switch: stores flip this off while writing their
+        #: initial population (those writes model in-memory
+        #: construction, not live traffic) and back on afterwards.
+        self.injecting = injecting
 
     def _active_plan(self) -> FaultPlan | None:
-        return self.plan if (self.plan is not None and self.injecting) else None
+        if self.plan is not None and self.injecting:
+            return self.plan
+        return None
 
-    def write_block(self, block_id, items: dict) -> None:
+    def write_block(self, block_id, items) -> None:
         """Store one block, unless the plan injects a write failure."""
         plan = self._active_plan()
         if plan is not None and plan.write_fault():
@@ -181,25 +212,40 @@ class FaultyDisk(SimulatedDisk):
             raise InjectedWriteError(
                 f"injected write failure on block {block_id!r}"
             )
-        super().write_block(block_id, items)
+        self.inner.write_block(block_id, items)
 
-    def _fetch(self, block_id) -> dict:
+    def _read(self, fetch, block_id):
         plan = self._active_plan()
-        kind = plan.read_fault() if plan is not None else None
+        if plan is None:
+            return fetch(block_id)
+        kind = plan.read_fault()
         if kind == "error":
             obs_counter("faults.injected.read_errors").inc()
             raise InjectedReadError(
                 f"injected read failure on block {block_id!r}"
             )
-        if kind == "latency":
-            obs_counter("faults.injected.latency_spikes").inc()
-            time.sleep(plan.latency_spike_s)
-        block = super()._fetch(block_id)
+        plan.latency.sleep()
+        block = fetch(block_id)
         if kind == "torn":
             obs_counter("faults.injected.torn_blocks").inc()
-            frame = bytearray(encode_block(block))
-            # Flip one byte inside the body (past the 8-byte header), as
-            # a torn sector write would; decode_block's CRC catches it.
-            frame[max(8, len(frame) // 2)] ^= 0xFF
-            return decode_block(bytes(frame))
+            if isinstance(block, (bytes, bytearray)):
+                return _corrupt_frame(bytes(block))
+            return decode_block(_corrupt_frame(encode_block(block)))
         return block
+
+    def read_block(self, block_id):
+        """Fetch one block through the fault plan."""
+        return self._read(self.inner.read_block, block_id)
+
+    def read_block_shared(self, block_id):
+        """Shared (no-copy) fetch through the fault plan."""
+        return self._read(self.inner.read_block_shared, block_id)
+
+    def stats(self) -> dict:
+        """Injection state plus the inner layers' statistics."""
+        return {
+            "layer": "faulty",
+            "injecting": self.injecting,
+            "active": self.plan is not None,
+            "inner": self.inner.stats(),
+        }

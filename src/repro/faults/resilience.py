@@ -1,12 +1,13 @@
 """The resilience stack: retry + circuit breaker around one operation.
 
-:class:`ResilientCaller` is what the block stores thread their reads
+:class:`ResilientCaller` is what the device stack's
+:class:`~repro.storage.device.ResilientDevice` layer threads reads
 through: the breaker decides whether the call may run at all, the retry
 policy absorbs transient faults, and every terminal failure comes out
 as one typed :class:`~repro.core.errors.StorageUnavailable` — the
 signal the query layer degrades on.  Fault flow::
 
-    FaultyDisk ──(transient error)──► RetryPolicy ──(budget spent)──┐
+    FaultyDevice ──(transient error)──► RetryPolicy ──(budget spent)──┐
                                                                     ▼
     caller ◄──(StorageUnavailable)── CircuitBreaker ◄── record_failure
 

@@ -188,8 +188,12 @@ class QueryOutcome:
             an exact answer).
         blocks_read: Disk blocks fetched before delivering.
         reason: ``None`` (exact), ``"deadline"`` (per-query deadline
-            hit) or ``"storage_unavailable"`` (retries exhausted or the
+            hit) or ``"storage_unavailable"`` (retries exhausted or a
             circuit breaker is open).
+        blocks_skipped: Blocks whose shard/device was unavailable and
+            whose error-bound mass therefore stays in ``error_bound``
+            — on a sharded stack a single failed shard skips only its
+            own blocks while surviving shards still answer.
     """
 
     value: float
@@ -198,6 +202,7 @@ class QueryOutcome:
     error_estimate: float
     blocks_read: int
     reason: str | None = None
+    blocks_skipped: int = 0
 
 
 class ProPolyneEngine:
@@ -210,13 +215,18 @@ class ProPolyneEngine:
             the filter gets ``max_degree + 1`` vanishing moments so those
             queries transform sparsely.
         block_size: Per-axis virtual block size for the tiling allocation.
-        pool_capacity: Optional buffer-pool size (blocks).
+        pool_capacity: Optional cache size (blocks) — legacy kwarg,
+            folded into a :class:`~repro.storage.device.StorageSpec`.
         fault_plan: Optional :class:`~repro.faults.plan.FaultPlan` — the
-            store's device injects faults per that schedule.
+            store's device stack injects faults per that schedule.
         retry_policy: Optional :class:`~repro.faults.retry.RetryPolicy`
             absorbing transient read faults.
         breaker: Optional :class:`~repro.faults.breaker.CircuitBreaker`
             failing reads fast during persistent outages.
+        storage: Full declarative
+            :class:`~repro.storage.device.StorageSpec` (shards, cache,
+            faults, resilience, latency); mutually exclusive with the
+            four legacy kwargs above.
     """
 
     def __init__(
@@ -228,6 +238,7 @@ class ProPolyneEngine:
         fault_plan=None,
         retry_policy=None,
         breaker=None,
+        storage=None,
     ) -> None:
         if max_degree < 0:
             raise QueryError(f"max_degree must be >= 0, got {max_degree}")
@@ -259,8 +270,9 @@ class ProPolyneEngine:
             fault_plan=fault_plan,
             retry_policy=retry_policy,
             breaker=breaker,
+            storage=storage,
         )
-        self.breaker = breaker
+        self.breaker = self.store.breaker
         blocks = allocation.build_blocks(coeffs)
         self._block_norms = {
             block_id: float(math.sqrt(sum(v * v for v in items.values())))
@@ -306,19 +318,28 @@ class ProPolyneEngine:
             )
 
     def _progressive_steps(
-        self, entries: dict, importance: str = "l2"
+        self, entries: dict, importance: str = "l2",
+        skip_unavailable: bool = False,
     ) -> Iterator[tuple]:
         """The progressive evaluation loop, one step per fetched block.
 
         Yields ``(estimate, plan, block, remaining)`` tuples; the first
         yield is a zero-I/O priming step (``plan``/``block`` ``None``)
         carrying the total a-priori error bound, and ``remaining``
-        counts the blocks still unfetched after the step.  Both
+        counts the blocks still unprocessed after the step.  Both
         :meth:`evaluate_progressive` (which drops the priming step and
         the payloads) and :meth:`evaluate_degradable` (which needs the
         payloads for the exact final sum and the priming bound for
         zero-block degradation) consume this generator, so the two
         paths can never drift apart numerically.
+
+        With ``skip_unavailable`` True, a block whose read raises
+        :class:`~repro.core.errors.StorageUnavailable` is *skipped*
+        instead of aborting the loop: its Cauchy–Schwarz mass stays in
+        the running error bound, the step yields ``block`` ``None``
+        (with ``plan`` set) as the skip marker, and evaluation
+        continues — on a sharded device this is exactly per-shard
+        degradation, since only the failed shard's blocks skip.
         """
         plans = plan_blocks(
             entries, self.store.allocation.block_of, importance=importance
@@ -376,14 +397,39 @@ class ProPolyneEngine:
         )
         estimate = 0.0
         used = 0
+        reads = 0
         for step, plan in enumerate(plans, start=1):
             obs_counter("query.progressive.blocks").inc()
-            block = self.store.fetch_block(plan.block_id)
+            if skip_unavailable:
+                try:
+                    block = self.store.fetch_block(plan.block_id)
+                except StorageUnavailable:
+                    # Skip marker: the block's bound mass stays in the
+                    # running totals, since its contribution is unknown.
+                    yield (
+                        ProgressiveEstimate(
+                            estimate=estimate,
+                            error_bound=max(0.0, remaining_bound),
+                            error_estimate=min(
+                                math.sqrt(max(0.0, remaining_variance)),
+                                max(0.0, remaining_bound),
+                            ),
+                            blocks_read=reads,
+                            coefficients_used=used,
+                        ),
+                        plan,
+                        None,
+                        len(plans) - step,
+                    )
+                    continue
+            else:
+                block = self.store.fetch_block(plan.block_id)
             contribution = sum(
                 qval * block[idx] for idx, qval in plan.entries.items()
             )
             estimate += float(contribution)
             used += len(plan.entries)
+            reads += 1
             q_norm = block_q_norm[plan.block_id]
             d_norm = self._block_norms.get(plan.block_id, 0.0)
             remaining_bound -= q_norm * d_norm
@@ -401,7 +447,7 @@ class ProPolyneEngine:
                     error_estimate=min(
                         math.sqrt(max(0.0, remaining_variance)), bound
                     ),
-                    blocks_read=step,
+                    blocks_read=reads,
                     coefficients_used=used,
                 ),
                 plan,
@@ -451,7 +497,12 @@ class ProPolyneEngine:
           never abandons a block mid-read);
         * storage becomes unavailable
           (:class:`~repro.core.errors.StorageUnavailable` from the
-          retry/breaker stack).
+          retry/breaker stack) — the failed block is *skipped*, its
+          error-bound mass is kept, and evaluation continues over
+          whatever storage still answers.  On a sharded device stack
+          each shard carries its own breaker, so one failed shard
+          skips only its own blocks while the surviving shards'
+          contributions are still summed exactly.
 
         Args:
             query: The range-sum to evaluate.
@@ -467,22 +518,30 @@ class ProPolyneEngine:
         if not entries:
             return QueryOutcome(0.0, False, 0.0, 0.0, 0, None)
         started = clock()
-        steps = self._progressive_steps(entries, importance)
+        steps = self._progressive_steps(
+            entries, importance, skip_unavailable=True
+        )
         stored: dict = {}
         last: ProgressiveEstimate | None = None
         reason: str | None = None
+        skipped = 0
         while True:
             try:
                 est, plan, block, remaining = next(steps)
             except StopIteration:
                 break
             except StorageUnavailable:
+                # Defensive: per-block faults are skipped inside the
+                # generator; this catches failures outside a fetch.
                 reason = "storage_unavailable"
                 break
             last = est
             if plan is not None:
-                for idx in plan.entries:
-                    stored[idx] = block[idx]
+                if block is None:
+                    skipped += 1
+                else:
+                    for idx in plan.entries:
+                        stored[idx] = block[idx]
             if (
                 reason is None
                 and deadline_s is not None
@@ -491,6 +550,8 @@ class ProPolyneEngine:
             ):
                 reason = "deadline"
                 break
+        if reason is None and skipped:
+            reason = "storage_unavailable"
         if reason is None:
             # Same term order as evaluate_exact: bitwise-identical value.
             value = float(
@@ -511,6 +572,7 @@ class ProPolyneEngine:
             error_estimate=last.error_estimate,
             blocks_read=last.blocks_read,
             reason=reason,
+            blocks_skipped=skipped,
         )
 
     def to_coefficients(self) -> np.ndarray:
@@ -521,7 +583,7 @@ class ProPolyneEngine:
         engine (used by the AIMS facade's save/load path).
         """
         cube = np.zeros(self.shape)
-        for block_id in self.store.disk.block_ids():
+        for block_id in self.store.device.block_ids():
             for idx, value in self.store.fetch_block(block_id).items():
                 cube[idx] = value
         return cube

@@ -82,29 +82,41 @@ class ScanCoordinator:
     store read: the first requester (the *leader*) performs the fetch,
     every other requester blocks on the flight's event and receives a
     copy of the payload.  Sequential re-reads are not deduplicated here
-    — that is the buffer pool's job — so the coordinator adds no state
-    beyond the currently in-flight reads.
+    — that is the caching device's job — so the coordinator adds no
+    state beyond the currently in-flight reads.
+
+    Shard awareness: flights are keyed on ``(shard, block_id)`` — the
+    store's ``shard_of`` placement when it has one — so the
+    coordinator's bookkeeping mirrors the storage topology and
+    per-shard fetch counts fall out for free (``fetches_by_shard``).
+    Placement is deterministic, so the key stays one-to-one with the
+    block id and the dedup semantics are unchanged.
 
     Attributes:
         fetches: Block reads this coordinator issued to the store.
         shared: Requests served by piggy-backing on another query's
             in-flight read (each one is a device/pool read avoided).
+        fetches_by_shard: Issued reads per shard index.
     """
 
     def __init__(self, store) -> None:
         self._store = store
+        self._shard_of = getattr(store, "shard_of", None) or (lambda b: 0)
         self._lock = threading.Lock()
-        self._inflight: dict[Hashable, _Flight] = {}
+        self._inflight: dict[tuple[int, Hashable], _Flight] = {}
         self.fetches = 0
         self.shared = 0
+        self.fetches_by_shard: dict[int, int] = {}
 
     def fetch_block(self, block_id: Hashable) -> dict:
         """Fetch one block, deduplicating against in-flight reads."""
+        shard = self._shard_of(block_id)
+        key = (shard, block_id)
         with self._lock:
-            flight = self._inflight.get(block_id)
+            flight = self._inflight.get(key)
             leader = flight is None
             if leader:
-                flight = self._inflight[block_id] = _Flight()
+                flight = self._inflight[key] = _Flight()
         if not leader:
             flight.event.wait()
             with self._lock:
@@ -122,16 +134,24 @@ class ScanCoordinator:
             raise
         finally:
             with self._lock:
-                self._inflight.pop(block_id, None)
+                self._inflight.pop(key, None)
                 self.fetches += 1
+                self.fetches_by_shard[shard] = (
+                    self.fetches_by_shard.get(shard, 0) + 1
+                )
             flight.event.set()
         obs_counter("query.service.scan.fetches").inc()
         return flight.result
 
     def stats(self) -> dict:
-        """Snapshot: issued fetches and piggy-backed (saved) reads."""
+        """Snapshot: issued fetches (total and per shard) and
+        piggy-backed (saved) reads."""
         with self._lock:
-            return {"fetches": self.fetches, "shared": self.shared}
+            return {
+                "fetches": self.fetches,
+                "shared": self.shared,
+                "fetches_by_shard": dict(self.fetches_by_shard),
+            }
 
 
 class SharedScanStore:
@@ -490,5 +510,5 @@ class QueryService:
     def scan_stats(self) -> dict:
         """Shared-scan counters (zeros when scan sharing is disabled)."""
         if self.coordinator is None:
-            return {"fetches": 0, "shared": 0}
+            return {"fetches": 0, "shared": 0, "fetches_by_shard": {}}
         return self.coordinator.stats()

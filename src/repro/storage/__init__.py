@@ -1,5 +1,6 @@
-"""Storage subsystem: simulated disk, wavelet block allocation, BLOB
-catalog, buffer pool and progressive I/O scheduling (§3.2 of the paper)."""
+"""Storage subsystem: the layered block-device stack (simulated disk +
+composable middleware + sharding), wavelet block allocation, BLOB
+catalog and progressive I/O scheduling (§3.2 of the paper)."""
 
 from repro.storage.allocation import (
     Allocation,
@@ -15,14 +16,39 @@ from repro.storage.allocation import (
 )
 from repro.storage.blobstore import BlobRef, BlobStore
 from repro.storage.blockstore import TensorBlockStore, WaveletBlockStore
-from repro.storage.bufferpool import BufferPool, PoolStats
+from repro.storage.device import (
+    BlockDevice,
+    BuiltStorage,
+    CachingDevice,
+    CrcFramedDevice,
+    DeviceLayer,
+    DeviceStack,
+    MeteredDevice,
+    PoolStats,
+    ResilientDevice,
+    StorageSpec,
+)
 from repro.storage.disk import IOStats, SimulatedDisk
+from repro.storage.latency import LatencyModel
 from repro.storage.retrieval import ProgressiveSignal, SignalArchive
 from repro.storage.scheduler import BlockPlan, plan_blocks
+from repro.storage.sharding import ShardedDevice, place
 
 __all__ = [
     "SimulatedDisk",
     "IOStats",
+    "LatencyModel",
+    "BlockDevice",
+    "DeviceLayer",
+    "DeviceStack",
+    "StorageSpec",
+    "BuiltStorage",
+    "CachingDevice",
+    "CrcFramedDevice",
+    "MeteredDevice",
+    "ResilientDevice",
+    "ShardedDevice",
+    "place",
     "Allocation",
     "TensorAllocation",
     "sequential_allocation",
@@ -35,7 +61,6 @@ __all__ = [
     "range_query_workload",
     "WaveletBlockStore",
     "TensorBlockStore",
-    "BufferPool",
     "PoolStats",
     "BlobStore",
     "BlobRef",

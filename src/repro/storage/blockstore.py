@@ -1,23 +1,22 @@
 """Wavelet block stores: the bridge between allocation and queries.
 
-A block store owns a simulated disk, an allocation, and (optionally) a
-buffer pool, and serves the one request the query engine makes: "give me
-these coefficients, and tell me what it cost".  Two variants:
+A block store owns a block *device stack*, an allocation, and serves
+the one request the query engine makes: "give me these coefficients,
+and tell me what it cost".  Two variants:
 
 * :class:`WaveletBlockStore` — 1-D flat-layout coefficient vectors;
 * :class:`TensorBlockStore` — multivariate coefficient cubes on
   Cartesian-product blocks.
 
-Resilience: both stores optionally take a
-:class:`~repro.faults.plan.FaultPlan` (the disk becomes a
-:class:`~repro.faults.plan.FaultyDisk`), a
-:class:`~repro.faults.retry.RetryPolicy` and a
-:class:`~repro.faults.breaker.CircuitBreaker`; every read — through the
-buffer pool or straight off the device — then runs under the
-retry+breaker stack, so transient faults are absorbed and persistent
-ones surface as one typed
-:class:`~repro.core.errors.StorageUnavailable`.  With none of the three
-configured, construction and reads are exactly the pre-resilience code
+Storage configuration is declarative: both stores take a
+:class:`~repro.storage.device.StorageSpec` (shards, cache, CRC
+framing, fault injection, retry/breaker resilience, simulated latency)
+and build the canonical validated middleware stack from it — caching,
+corruption detection, retries and fault injection are all the *device's*
+layers now, not special cases inside the store.  The legacy keyword
+arguments (``pool_capacity``/``fault_plan``/``retry_policy``/
+``breaker``) are folded into an equivalent spec, so with none of them
+configured construction and reads are exactly the pre-resilience code
 path (regression-tested to be bitwise-identical).
 """
 
@@ -30,33 +29,93 @@ from repro.obs import DEFAULT_COUNT_BUCKETS
 from repro.obs import histogram as obs_histogram
 from repro.obs import span
 from repro.storage.allocation import Allocation, TensorAllocation
-from repro.storage.bufferpool import BufferPool
-from repro.storage.disk import IOStats, SimulatedDisk
+from repro.storage.device import StorageSpec
+from repro.storage.disk import IOStats
 
 __all__ = ["WaveletBlockStore", "TensorBlockStore"]
 
 
-def _build_disk(block_size: int, fault_plan):
-    """The store's device: plain, or fault-injecting when a plan is set."""
-    if fault_plan is None:
-        return SimulatedDisk(block_size=block_size)
-    from repro.faults.plan import FaultyDisk
+def _compose_spec(
+    storage, pool_capacity, fault_plan, retry_policy, breaker
+) -> StorageSpec:
+    """One spec from either the declarative argument or legacy kwargs."""
+    if storage is not None:
+        if (pool_capacity is not None or fault_plan is not None
+                or retry_policy is not None or breaker is not None):
+            raise StorageError(
+                "pass either a StorageSpec or legacy storage kwargs, "
+                "not both"
+            )
+        return storage
+    return StorageSpec(
+        cache_blocks=pool_capacity,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+        breaker=breaker,
+    )
 
-    return FaultyDisk(block_size=block_size, plan=fault_plan)
+
+class _StoreBase:
+    """Device-stack plumbing shared by both block stores."""
+
+    def _init_storage(self, spec: StorageSpec, block_size: int) -> None:
+        self.spec = spec
+        self._built = spec.build(block_size)
+        self.device = self._built.device
+        #: The breaker template from the spec (unsharded stacks use it
+        #: directly); per-shard breakers live in :attr:`breakers`.
+        self.breaker = spec.breaker
+        self.breakers = self._built.breakers
+
+    def _populate(self, blocks: dict) -> None:
+        # Initial population models in-memory construction, not live
+        # traffic: injection starts only once the store is serving.
+        self._built.set_injecting(False)
+        try:
+            for block_id, items in blocks.items():
+                self.device.write_block(block_id, items)
+        finally:
+            self._built.set_injecting(True)
+
+    @property
+    def disk(self):
+        """Deprecated alias for :attr:`device` (pre-stack call sites)."""
+        return self.device
+
+    @property
+    def caches(self) -> list:
+        """Caching layers across all shards, in shard order (empty when
+        the spec disables caching) — benchmarks clear these between runs
+        and difference their :class:`~repro.storage.device.PoolStats`."""
+        layers = (stack.layer("caching") for stack in self._built.stacks)
+        return [layer for layer in layers if layer is not None]
+
+    def shard_of(self, block_id) -> int:
+        """Shard index a block id is placed on (0 when unsharded) —
+        the key the scan coordinator's single-flight map uses."""
+        return self._built.shard_of(block_id)
+
+    def set_injecting(self, flag: bool) -> None:
+        """Toggle fault injection on every shard's faulty layer (chaos
+        drills heal storage this way; no-op without a fault plan)."""
+        self._built.set_injecting(flag)
+
+    def storage_stats(self) -> dict:
+        """Nested per-layer statistics of the whole device stack."""
+        return self.device.stats()
+
+    def io_snapshot(self) -> IOStats:
+        """Current leaf I/O counters (copy, summed across shards) for
+        before/after differencing."""
+        return self.device.io_totals()
+
+    def io_since(self, before: IOStats) -> IOStats:
+        """Leaf I/O performed since ``before`` was snapshotted."""
+        return self.device.io_totals().delta(before)
 
 
-def _build_resilience(retry_policy, breaker):
-    """The read guard: ``None`` (pass-through) unless retries or a
-    breaker were configured."""
-    if retry_policy is None and breaker is None:
-        return None
-    from repro.faults.resilience import ResilientCaller
-
-    return ResilientCaller(retry_policy, breaker)
-
-
-class WaveletBlockStore:
-    """1-D wavelet coefficients on disk, under a chosen allocation."""
+class WaveletBlockStore(_StoreBase):
+    """1-D wavelet coefficients on a device stack, under an allocation."""
 
     def __init__(
         self,
@@ -66,6 +125,7 @@ class WaveletBlockStore:
         fault_plan=None,
         retry_policy=None,
         breaker=None,
+        storage: StorageSpec | None = None,
     ) -> None:
         values = np.asarray(flat, dtype=float)
         if values.size != allocation.n:
@@ -74,20 +134,11 @@ class WaveletBlockStore:
                 f"{allocation.n}"
             )
         self.allocation = allocation
-        self.disk = _build_disk(allocation.block_size, fault_plan)
-        self.breaker = breaker
-        self._resilience = _build_resilience(retry_policy, breaker)
-        # Initial population models in-memory construction, not live
-        # traffic: injection starts only once the store is serving.
-        if fault_plan is not None:
-            self.disk.injecting = False
-        for block_id, items in allocation.build_blocks(values).items():
-            self.disk.write_block(block_id, items)
-        if fault_plan is not None:
-            self.disk.injecting = True
-        self._pool = (
-            BufferPool(self.disk, pool_capacity) if pool_capacity else None
+        spec = _compose_spec(
+            storage, pool_capacity, fault_plan, retry_policy, breaker
         )
+        self._init_storage(spec, allocation.block_size)
+        self._populate(allocation.build_blocks(values))
         self._norm = float(np.linalg.norm(values))
 
     @property
@@ -101,35 +152,21 @@ class WaveletBlockStore:
         used by the progressive evaluator's Cauchy–Schwarz error bound."""
         return self._norm
 
-    def io_snapshot(self) -> IOStats:
-        """Current I/O counters (copy) for before/after differencing."""
-        return self.disk.stats.snapshot()
-
-    def io_since(self, before: IOStats) -> IOStats:
-        """I/O performed since ``before`` was snapshotted."""
-        return self.disk.stats.delta(before)
-
-    def _read(self, block_id: int) -> dict:
-        reader = (
-            self._pool.read_block
-            if self._pool is not None
-            else self.disk.read_block
-        )
-        if self._resilience is None:
-            return reader(block_id)
-        return self._resilience.call(reader, block_id)
-
     def fetch(self, indices: list[int] | set[int]) -> dict[int, float]:
-        """Fetch the requested coefficients, reading whole blocks."""
+        """Fetch the requested coefficients, reading whole blocks.
+
+        Multi-block reads go through the device's bulk path, so a
+        sharded stack fans them out across shards concurrently.
+        """
         with span("storage.fetch"):
             needed = sorted(self.allocation.blocks_for(indices))
             obs_histogram(
                 "query.blocks_per_query", DEFAULT_COUNT_BUCKETS
             ).observe(len(needed))
+            blocks = self.device.read_many(needed)
             out: dict[int, float] = {}
             for block_id in needed:
-                block = self._read(block_id)
-                out.update(block)
+                out.update(blocks[block_id])
             missing = [i for i in indices if i not in out]
             if missing:
                 raise StorageError(
@@ -139,24 +176,27 @@ class WaveletBlockStore:
 
     def fetch_block(self, block_id: int) -> dict[int, float]:
         """Fetch one whole block (progressive evaluation reads block-wise)."""
-        return self._read(block_id)
+        return self.device.read_block(block_id)
 
     def update(self, index: int, value: float) -> None:
-        """Overwrite one coefficient (read-modify-write of its block)."""
+        """Overwrite one coefficient (read-modify-write of its block).
+
+        Cache coherence is automatic: the write enters through the
+        stack, so the caching layer invalidates its copy itself.
+        """
         if not 0 <= index < self.n:
             raise StorageError(f"coefficient index {index} out of range")
         block_id = int(self.allocation.block_of[index])
-        block = self.disk.read_block(block_id)
+        block = self.device.read_block(block_id)
         old = block[index]
         block[index] = float(value)
-        # write_block invalidates any attached pool (write-through hook).
-        self.disk.write_block(block_id, block)
+        self.device.write_block(block_id, block)
         self._norm = float(
             np.sqrt(max(0.0, self._norm**2 - old**2 + float(value) ** 2))
         )
 
 
-class TensorBlockStore:
+class TensorBlockStore(_StoreBase):
     """Multivariate coefficient cube on Cartesian-product blocks."""
 
     def __init__(
@@ -167,6 +207,7 @@ class TensorBlockStore:
         fault_plan=None,
         retry_policy=None,
         breaker=None,
+        storage: StorageSpec | None = None,
     ) -> None:
         cube = np.asarray(coeffs, dtype=float)
         if cube.shape != allocation.shape:
@@ -175,18 +216,11 @@ class TensorBlockStore:
                 f"{allocation.shape}"
             )
         self.allocation = allocation
-        self.disk = _build_disk(allocation.block_capacity, fault_plan)
-        self.breaker = breaker
-        self._resilience = _build_resilience(retry_policy, breaker)
-        if fault_plan is not None:
-            self.disk.injecting = False
-        for block_id, items in allocation.build_blocks(cube).items():
-            self.disk.write_block(block_id, items)
-        if fault_plan is not None:
-            self.disk.injecting = True
-        self._pool = (
-            BufferPool(self.disk, pool_capacity) if pool_capacity else None
+        spec = _compose_spec(
+            storage, pool_capacity, fault_plan, retry_policy, breaker
         )
+        self._init_storage(spec, allocation.block_capacity)
+        self._populate(allocation.build_blocks(cube))
         self._norm = float(np.linalg.norm(cube.ravel()))
 
     @property
@@ -199,36 +233,20 @@ class TensorBlockStore:
         """L2 norm of the stored cube (for progressive error bounds)."""
         return self._norm
 
-    def io_snapshot(self) -> IOStats:
-        """Current I/O counters (copy) for before/after differencing."""
-        return self.disk.stats.snapshot()
-
-    def io_since(self, before: IOStats) -> IOStats:
-        """I/O performed since ``before`` was snapshotted."""
-        return self.disk.stats.delta(before)
-
-    def _read(self, block_id: tuple[int, ...]) -> dict:
-        reader = (
-            self._pool.read_block
-            if self._pool is not None
-            else self.disk.read_block
-        )
-        if self._resilience is None:
-            return reader(block_id)
-        return self._resilience.call(reader, block_id)
-
     def fetch(
         self, indices: list[tuple[int, ...]]
     ) -> dict[tuple[int, ...], float]:
-        """Fetch the requested multivariate coefficients block-wise."""
+        """Fetch the requested multivariate coefficients block-wise,
+        fanning out across shards through the device's bulk path."""
         with span("storage.fetch"):
-            needed_blocks = {self.allocation.block_of(i) for i in indices}
+            needed = sorted({self.allocation.block_of(i) for i in indices})
             obs_histogram(
                 "query.blocks_per_query", DEFAULT_COUNT_BUCKETS
-            ).observe(len(needed_blocks))
+            ).observe(len(needed))
+            blocks = self.device.read_many(needed)
             cache: dict[tuple[int, ...], float] = {}
-            for block_id in sorted(needed_blocks):
-                cache.update(self._read(block_id))
+            for block_id in needed:
+                cache.update(blocks[block_id])
             try:
                 return {tuple(i): cache[tuple(i)] for i in indices}
             except KeyError as exc:
@@ -246,14 +264,14 @@ class TensorBlockStore:
         self, block_id: tuple[int, ...]
     ) -> dict[tuple[int, ...], float]:
         """Fetch one whole product block."""
-        return self._read(block_id)
+        return self.device.read_block(block_id)
 
     def update_block(
         self, block_id: tuple[int, ...], items: dict[tuple[int, ...], float]
     ) -> None:
         """Overwrite one block (append path).
 
-        Pool coherence is automatic: the device's write-through hook
-        invalidates the block in any attached pool.
+        Cache coherence is automatic: the write enters through the
+        stack, so the caching layer invalidates its copy itself.
         """
-        self.disk.write_block(block_id, items)
+        self.device.write_block(block_id, items)

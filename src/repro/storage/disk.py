@@ -1,39 +1,33 @@
-"""A simulated block device with I/O accounting.
+"""A simulated block device: the leaf layer of every device stack.
 
 The storage claims of §3.2 are all statements about *which coefficients
-share a disk block* and *how many blocks a query touches* — never about a
-specific device.  This simulator therefore models exactly that: fixed-size
-blocks addressed by id, with read/write counters that every experiment
-reads its I/O costs from.
+share a disk block* and *how many blocks a query touches* — never about
+a specific device.  This simulator therefore models exactly that:
+fixed-size blocks addressed by id, with :class:`IOStats` counters every
+experiment reads its I/O costs from.
 
-Coherence: caches layered on top of the device (buffer pools) register
-themselves via :meth:`SimulatedDisk.attach_cache`; every
-:meth:`SimulatedDisk.write_block` then invalidates the written block in
-each attached cache, so a writer can never leave a pool serving stale
-payloads.  Device counters also feed the process-wide metrics registry
-(``storage.disk.reads`` / ``storage.disk.writes``).
+Since the device-stack refactor this class is deliberately dumb: no
+cache hooks (coherence lives in
+:class:`~repro.storage.device.CachingDevice`), no metrics registry calls
+(a :class:`~repro.storage.device.MeteredDevice` directly above the leaf
+emits ``storage.disk.*``), no fault logic (middleware), and payloads are
+opaque — dictionaries are capacity-checked and defensively copied, while
+byte frames (from a CRC layer above) are stored as-is.
 
 Thread safety: the block directory and :class:`IOStats` counters are
-guarded by one device lock, so concurrent readers and writers never lose
-stats updates or observe a half-written directory.  The lock is released
-before cache invalidation callbacks run and before the simulated
-``latency_s`` sleep, so the device never holds its lock while calling
-into another component (see the locking order in
-``docs/ARCHITECTURE.md``) and concurrent reads overlap their simulated
-seek time.
+guarded by one device lock; the simulated latency sleep happens after
+the lock is released, so concurrent reads overlap their seek time.
 """
 
 from __future__ import annotations
 
 import threading
-import time
-import weakref
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Iterable
 
 from repro.core.errors import StorageError
-from repro.obs import counter as obs_counter
 from repro.obs.stats import StatsBase
+from repro.storage.latency import LatencyModel
 
 __all__ = ["IOStats", "SimulatedDisk"]
 
@@ -53,21 +47,24 @@ class IOStats(StatsBase):
 
 @dataclass
 class SimulatedDisk:
-    """Block device: block id -> payload dictionary.
+    """Leaf block device: block id -> payload.
 
-    Payloads are dictionaries from item key (e.g. flat coefficient index)
-    to value; ``block_size`` bounds how many items one block may carry,
-    mirroring a real device's fixed block capacity.  ``latency_s`` adds a
-    per-read sleep (taken outside the device lock, so concurrent reads
-    overlap) that models seek + transfer time for concurrency
-    experiments; it defaults to zero so every existing workload is
-    unaffected.
+    Payloads are either dictionaries from item key (e.g. flat
+    coefficient index) to value — ``block_size`` bounds how many items
+    one block may carry, mirroring a real device's fixed block capacity
+    — or opaque byte frames written by a CRC layer above (stored
+    untouched; capacity is then that layer's business).  ``latency``
+    is an optional :class:`~repro.storage.latency.LatencyModel` whose
+    per-read delay (base seek time plus seeded spikes) is slept outside
+    the device lock; the legacy ``latency_s`` float is accepted and
+    folded into a model.
     """
 
     block_size: int
     latency_s: float = 0.0
-    _blocks: dict[Hashable, dict] = field(default_factory=dict)
-    stats: IOStats = field(default_factory=IOStats)
+    latency: LatencyModel | None = None
+    _blocks: dict[Hashable, object] = field(default_factory=dict)
+    io: IOStats = field(default_factory=IOStats)
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -78,76 +75,69 @@ class SimulatedDisk:
             raise StorageError(
                 f"read latency must be >= 0, got {self.latency_s}"
             )
-        # Caches to invalidate on write-through; weak so a discarded pool
-        # does not outlive its usefulness here.
-        self._caches: weakref.WeakSet = weakref.WeakSet()
-        # Guards the block directory and the IOStats counters; never held
-        # while calling into an attached cache or sleeping.
+        if self.latency is None and self.latency_s > 0.0:
+            self.latency = LatencyModel(base_s=self.latency_s)
+        # Guards the block directory and the IOStats counters; never
+        # held while sleeping simulated latency.
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._blocks)
 
-    def attach_cache(self, cache) -> None:
-        """Register a cache for write-through invalidation.
+    def write_block(self, block_id: Hashable, items) -> None:
+        """Store (or overwrite) one block.
 
-        ``cache`` needs an ``invalidate(block_id)`` method; it is held
-        weakly.  Every subsequent :meth:`write_block` drops the written
-        block from the cache, closing the stale-read window between a
-        direct device write and a later cached read.
+        A dictionary payload is capacity-checked and stored as a fresh
+        copy that is never mutated in place afterwards (subsequent
+        writes replace it), so readers that already hold the previous
+        payload keep a consistent pre-write snapshot.  Non-dict payloads
+        (encoded byte frames) are stored as-is — bytes are immutable.
         """
-        self._caches.add(cache)
-
-    def write_block(self, block_id: Hashable, items: dict) -> None:
-        """Store (or overwrite) one block, invalidating attached caches.
-
-        The stored payload is a fresh dictionary that is never mutated in
-        place afterwards (subsequent writes replace it), so readers that
-        already hold the previous payload keep a consistent pre-write
-        snapshot.  Invalidation callbacks run after the device lock is
-        released.
-        """
-        if len(items) > self.block_size:
-            raise StorageError(
-                f"block {block_id!r}: {len(items)} items exceed "
-                f"block size {self.block_size}"
-            )
-        payload = dict(items)
+        if isinstance(items, dict):
+            if len(items) > self.block_size:
+                raise StorageError(
+                    f"block {block_id!r}: {len(items)} items exceed "
+                    f"block size {self.block_size}"
+                )
+            payload: object = dict(items)
+        else:
+            payload = items
         with self._lock:
             self._blocks[block_id] = payload
-            self.stats.writes += 1
-            caches = list(self._caches)
-        obs_counter("storage.disk.writes").inc()
-        for cache in caches:
-            cache.invalidate(block_id)
+            self.io.writes += 1
 
-    def _fetch(self, block_id: Hashable) -> dict:
+    def _fetch(self, block_id: Hashable):
         with self._lock:
             try:
                 block = self._blocks[block_id]
             except KeyError:
                 raise StorageError(f"no such block {block_id!r}") from None
-            self.stats.reads += 1
-        obs_counter("storage.disk.reads").inc()
-        if self.latency_s > 0.0:
-            time.sleep(self.latency_s)
+            self.io.reads += 1
+        if self.latency is not None:
+            self.latency.sleep()
         return block
 
-    def read_block(self, block_id: Hashable) -> dict:
-        """Fetch one block, counting the I/O.  The caller owns the copy."""
-        return dict(self._fetch(block_id))
+    def read_block(self, block_id: Hashable):
+        """Fetch one block, counting the I/O.  The caller owns the
+        returned payload (dictionaries are copied; bytes are immutable)."""
+        block = self._fetch(block_id)
+        return dict(block) if isinstance(block, dict) else block
 
-    def read_block_shared(self, block_id: Hashable) -> dict:
+    def read_block_shared(self, block_id: Hashable):
         """Fetch one block without copying, counting the I/O.
 
         Returns the device's internal payload, which MUST be treated as
         immutable: the device never mutates stored payloads in place
         (:meth:`write_block` replaces them), so sharing is safe for
-        readers that also never mutate — the buffer pool uses this to
+        readers that also never mutate — the caching layer uses this to
         avoid one copy per miss.
         """
         return self._fetch(block_id)
+
+    def read_many(self, block_ids: Iterable[Hashable]) -> dict:
+        """Fetch several blocks; returns ``{block_id: payload}``."""
+        return {b: self.read_block(b) for b in block_ids}
 
     def has_block(self, block_id: Hashable) -> bool:
         """Existence check (no I/O charged — directory metadata)."""
@@ -159,10 +149,36 @@ class SimulatedDisk:
         with self._lock:
             return list(self._blocks)
 
+    def n_blocks(self) -> int:
+        """Number of allocated blocks."""
+        return len(self)
+
     def occupancy(self) -> float:
-        """Mean fraction of block capacity in use."""
+        """Mean fraction of block item-capacity in use.
+
+        Counts dictionary payloads only; opaque byte frames are scored
+        by the CRC layer that knows their item counts.
+        """
         with self._lock:
-            if not self._blocks:
+            counted = [
+                len(b) for b in self._blocks.values() if isinstance(b, dict)
+            ]
+            if not counted:
                 return 0.0
-            used = sum(len(b) for b in self._blocks.values())
-            return used / (len(self._blocks) * self.block_size)
+            return sum(counted) / (len(counted) * self.block_size)
+
+    def io_totals(self) -> IOStats:
+        """Cumulative I/O counters (copy) for before/after differencing."""
+        with self._lock:
+            return self.io.snapshot()
+
+    def stats(self) -> dict:
+        """Leaf-device statistics (innermost entry of a stack report)."""
+        with self._lock:
+            return {
+                "layer": "disk",
+                "block_size": self.block_size,
+                "blocks": len(self._blocks),
+                "reads": self.io.reads,
+                "writes": self.io.writes,
+            }

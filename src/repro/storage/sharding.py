@@ -1,0 +1,190 @@
+"""Sharded block device: the first scale-out axis of the storage engine.
+
+:class:`ShardedDevice` stripes blocks across N inner
+:class:`~repro.storage.device.BlockDevice` stacks by a deterministic
+placement function — ``crc32(repr(block_id)) mod N`` — so the same
+block id lands on the same shard in every process and every run, with
+no placement table to persist (the rebalance-free determinism the
+placement tests pin down).
+
+Multi-block reads fan out across the shards touched via a small
+transient worker pool, so with per-device latency the wall-clock cost
+of a scan approaches ``blocks / shards`` device waits instead of
+``blocks`` (the effect ``benchmarks/bench_p3_sharding.py`` measures).
+Writes and single reads route directly to the owning shard.
+
+Degradation is per-shard by construction: each shard's sub-stack
+carries its own fault plan and circuit breaker
+(:class:`~repro.storage.device.StorageSpec` clones the templates), so
+one failed shard trips only its own breaker and queries over surviving
+shards still answer — surfaced through the query layer's
+``QueryOutcome`` degradation path.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Hashable, Iterable
+
+from repro.core.errors import StorageError
+from repro.storage.disk import IOStats
+
+__all__ = ["ShardedDevice", "place"]
+
+
+def place(block_id: Hashable, n_shards: int) -> int:
+    """Deterministic shard placement: ``crc32(repr(block_id)) mod N``.
+
+    ``repr`` gives a stable byte encoding for every hashable id the
+    stores use (ints, index tuples, strings) without depending on
+    Python's per-process hash randomization.
+    """
+    return zlib.crc32(repr(block_id).encode("utf-8")) % n_shards
+
+
+class ShardedDevice:
+    """N inner block devices behind one :class:`BlockDevice` surface.
+
+    Args:
+        devices: The inner devices (typically per-shard middleware
+            stacks built by :class:`~repro.storage.device.StorageSpec`),
+            in shard order.
+        fanout_workers: Worker-pool width for multi-block reads
+            (default ``min(n_shards, 8)``); ``1`` forces sequential
+            fan-out.
+    """
+
+    def __init__(self, devices, fanout_workers: int | None = None) -> None:
+        self.devices = list(devices)
+        if not self.devices:
+            raise StorageError("a sharded device needs at least one shard")
+        sizes = {d.block_size for d in self.devices}
+        if len(sizes) != 1:
+            raise StorageError(
+                f"shards disagree on block size: {sorted(sizes)}"
+            )
+        self.n_shards = len(self.devices)
+        if fanout_workers is not None and fanout_workers < 1:
+            raise StorageError(
+                f"fanout_workers must be >= 1, got {fanout_workers}"
+            )
+        self.fanout_workers = (
+            fanout_workers
+            if fanout_workers is not None
+            else min(self.n_shards, 8)
+        )
+
+    @property
+    def block_size(self) -> int:
+        """Item capacity of one block (uniform across shards)."""
+        return self.devices[0].block_size
+
+    def shard_of(self, block_id: Hashable) -> int:
+        """Shard index owning a block id (deterministic across runs)."""
+        return place(block_id, self.n_shards)
+
+    def _device_for(self, block_id: Hashable):
+        return self.devices[self.shard_of(block_id)]
+
+    def read_block(self, block_id: Hashable):
+        """Fetch one block from its owning shard."""
+        return self._device_for(block_id).read_block(block_id)
+
+    def read_block_shared(self, block_id: Hashable):
+        """Shared (no-copy) fetch from the owning shard."""
+        return self._device_for(block_id).read_block_shared(block_id)
+
+    def read_many(self, block_ids: Iterable[Hashable]) -> dict:
+        """Fetch several blocks, fanning out across the shards touched.
+
+        Blocks are grouped by owning shard; when more than one shard
+        (and more than one worker) is involved, each shard group runs
+        on a transient worker pool so per-device latency overlaps.  A
+        failing shard group propagates its exception after every group
+        has settled — surviving shards' work is never discarded
+        mid-flight.
+        """
+        groups: dict[int, list[Hashable]] = {}
+        for block_id in block_ids:
+            groups.setdefault(self.shard_of(block_id), []).append(block_id)
+        if not groups:
+            return {}
+        out: dict = {}
+        if len(groups) == 1 or self.fanout_workers == 1:
+            for shard, ids in groups.items():
+                out.update(self.devices[shard].read_many(ids))
+            return out
+        with ThreadPoolExecutor(
+            max_workers=min(len(groups), self.fanout_workers),
+            thread_name_prefix="shard-read",
+        ) as pool:
+            futures = [
+                pool.submit(self.devices[shard].read_many, ids)
+                for shard, ids in groups.items()
+            ]
+            error = None
+            for future in futures:
+                try:
+                    out.update(future.result())
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    error = error if error is not None else exc
+        if error is not None:
+            raise error
+        return out
+
+    def write_block(self, block_id: Hashable, items) -> None:
+        """Store one block on its owning shard."""
+        self._device_for(block_id).write_block(block_id, items)
+
+    def has_block(self, block_id: Hashable) -> bool:
+        """Existence check on the owning shard."""
+        return self._device_for(block_id).has_block(block_id)
+
+    def block_ids(self) -> list:
+        """All allocated block ids, shard by shard."""
+        out: list = []
+        for device in self.devices:
+            out.extend(device.block_ids())
+        return out
+
+    def n_blocks(self) -> int:
+        """Total allocated blocks across all shards."""
+        return sum(device.n_blocks() for device in self.devices)
+
+    def occupancy(self) -> float:
+        """Block-count-weighted mean occupancy across shards."""
+        weighted = 0.0
+        total = 0
+        for device in self.devices:
+            n = device.n_blocks()
+            weighted += device.occupancy() * n
+            total += n
+        return weighted / total if total else 0.0
+
+    def io_totals(self) -> IOStats:
+        """Summed leaf I/O counters across all shards (copy)."""
+        totals = IOStats()
+        for device in self.devices:
+            shard_io = device.io_totals()
+            totals.reads += shard_io.reads
+            totals.writes += shard_io.writes
+        return totals
+
+    def stats(self) -> dict:
+        """Aggregate view plus every shard's nested layer statistics."""
+        return {
+            "layer": "sharded",
+            "shards": self.n_shards,
+            "placement": "crc32(repr(id)) % shards",
+            "fanout_workers": self.fanout_workers,
+            "blocks": self.n_blocks(),
+            "io": {
+                "reads": self.io_totals().reads,
+                "writes": self.io_totals().writes,
+            },
+            "per_shard": [device.stats() for device in self.devices],
+        }
+
+    def __len__(self) -> int:
+        return self.n_blocks()

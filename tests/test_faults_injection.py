@@ -1,5 +1,5 @@
-"""Deterministic fault injection: FaultPlan schedules, FaultyDisk
-behaviour, and the CRC block codec.
+"""Deterministic fault injection: FaultPlan schedules, FaultyDevice
+middleware behaviour, and the CRC block codec.
 
 The load-bearing property is *replayability*: a seeded plan driving the
 same operation sequence must inject the identical fault schedule, or no
@@ -63,8 +63,7 @@ class TestFaultPlan:
         with pytest.raises(StorageError):
             FaultPlan(read_error_rate=-0.1)
         with pytest.raises(StorageError):
-            FaultPlan(read_error_rate=0.6, torn_rate=0.3,
-                      latency_spike_rate=0.2)
+            FaultPlan(read_error_rate=0.7, torn_rate=0.4)
         with pytest.raises(StorageError):
             FaultPlan(latency_spike_s=-1.0)
 
@@ -104,7 +103,7 @@ def make_disk(plan=None, **kwargs) -> FaultyDisk:
     return disk
 
 
-class TestFaultyDisk:
+class TestFaultyDevice:
     def test_no_plan_behaves_like_base_disk(self):
         plain = SimulatedDisk(block_size=8)
         plain.write_block(0, {0: 0.0})
@@ -116,7 +115,7 @@ class TestFaultyDisk:
         with pytest.raises(InjectedReadError):
             disk.read_block(0)
         # The read never reached the directory, so no I/O was charged.
-        assert disk.stats.reads == 0
+        assert disk.io_totals().reads == 0
 
     def test_torn_read_surfaces_as_crc_failure(self):
         disk = make_disk(FaultPlan(seed=0, torn_rate=1.0))
@@ -190,3 +189,23 @@ class TestFaultyDisk:
             assert disk.read_block(b) == {
                 4 * b + i: float(values[4 * b + i]) for i in range(4)
             }
+
+class TestDeprecationShimAndLatency:
+    def test_faultydisk_shim_builds_a_faulty_device(self):
+        # The legacy constructor survives as a shim only; the instance it
+        # returns is the middleware layer over a plain simulated disk.
+        from repro.faults.plan import FaultyDevice
+
+        disk = FaultyDisk(block_size=8, latency_s=0.0)
+        assert isinstance(disk, FaultyDevice)
+        assert isinstance(disk.inner, SimulatedDisk)
+
+    def test_plan_spikes_live_in_one_latency_model(self):
+        # Consolidation guard: spike rate/duration are owned by the
+        # plan's LatencyModel, the same mechanism as the leaf seek time,
+        # so delay budgets cannot be configured twice in contradiction.
+        plan = FaultPlan(seed=4, latency_spike_rate=0.25,
+                         latency_spike_s=0.001)
+        assert plan.latency.spike_rate == 0.25
+        assert plan.latency.spike_s == 0.001
+        assert plan.latency.seed == plan.seed

@@ -20,7 +20,7 @@ from repro.obs import (
     use_registry,
 )
 from repro.obs.stats import StatsBase
-from repro.storage.bufferpool import PoolStats
+from repro.storage.device import PoolStats
 from repro.storage.disk import IOStats
 
 

@@ -21,12 +21,18 @@ from repro.query.service import (
     ScanCoordinator,
     shared_scan_view,
 )
+from repro.storage.device import StorageSpec
+from repro.storage.latency import LatencyModel
 
 
-def build_engine(shape=(32, 32), pool_capacity=16, seed=7):
+def build_engine(shape=(32, 32), pool_capacity=16, seed=7, latency_s=0.0):
     rng = np.random.default_rng(seed)
     cube = rng.poisson(3.0, shape).astype(float)
-    return ProPolyneEngine(cube, max_degree=1, pool_capacity=pool_capacity)
+    storage = StorageSpec(
+        cache_blocks=pool_capacity,
+        latency=LatencyModel(base_s=latency_s) if latency_s else None,
+    )
+    return ProPolyneEngine(cube, max_degree=1, storage=storage)
 
 
 def mixed_workload(engine, count=24, seed=11):
@@ -115,9 +121,8 @@ class TestConcurrentCorrectness:
 
 class TestSharedScans:
     def test_single_flight_deduplicates_concurrent_reads(self):
-        engine = build_engine(pool_capacity=None)
         # Slow the device down so readers genuinely overlap.
-        engine.store.disk.latency_s = 0.005
+        engine = build_engine(pool_capacity=None, latency_s=0.005)
         coordinator = ScanCoordinator(engine.store)
         block_id = engine.store.disk.block_ids()[0]
         before = engine.store.io_snapshot()
@@ -143,8 +148,7 @@ class TestSharedScans:
         assert reads == stats["fetches"]  # only leaders touch the device
 
     def test_follower_copies_are_independent(self):
-        engine = build_engine(pool_capacity=None)
-        engine.store.disk.latency_s = 0.005
+        engine = build_engine(pool_capacity=None, latency_s=0.005)
         coordinator = ScanCoordinator(engine.store)
         block_id = engine.store.disk.block_ids()[0]
         results = []
@@ -182,8 +186,7 @@ class TestSharedScans:
 
 class TestAdmissionControl:
     def test_overload_rejects_instead_of_queueing_unboundedly(self):
-        engine = build_engine()
-        engine.store.disk.latency_s = 0.02  # keep workers busy
+        engine = build_engine(latency_s=0.02)  # keep workers busy
         queries = mixed_workload(engine, count=50, seed=17)
         service = QueryService(engine, workers=1, queue_depth=2)
         try:

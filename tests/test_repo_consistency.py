@@ -82,3 +82,64 @@ class TestDesignDocSync:
             assert path.exists() and path.stat().st_size > 500, (
                 f"{doc} missing or suspiciously small"
             )
+
+class TestDeviceStackDiscipline:
+    """No module may hand-wire storage middleware around the validated
+    builder: every stack in ``src/`` must come from ``DeviceStack`` /
+    ``StorageSpec`` (the modules that implement the layers are the only
+    exception), and the deprecated ``FaultyDisk`` shim must not gain new
+    callers."""
+
+    #: Modules allowed to construct middleware directly: the device
+    #: builder itself, the sharded fan-out, and the fault middleware.
+    ALLOWED = {
+        "src/repro/storage/device.py",
+        "src/repro/storage/sharding.py",
+        "src/repro/faults/plan.py",
+        # The FaultyDisk deprecation shim wraps one FaultyDevice.
+        "src/repro/faults/__init__.py",
+    }
+
+    def _src_files(self):
+        for path in (ROOT / "src").rglob("*.py"):
+            yield path.relative_to(ROOT).as_posix(), path.read_text()
+
+    def test_no_middleware_constructed_outside_the_stack_builder(self):
+        wrappers = ("CachingDevice(", "CrcFramedDevice(",
+                    "MeteredDevice(", "ResilientDevice(",
+                    "FaultyDevice(", "ShardedDevice(")
+        offenders = []
+        for rel, text in self._src_files():
+            if rel in self.ALLOWED:
+                continue
+            for needle in wrappers:
+                if needle in text:
+                    offenders.append(f"{rel}: {needle[:-1]}")
+        assert offenders == [], (
+            f"middleware hand-wired outside DeviceStack: {offenders}"
+        )
+
+    def test_no_faultydisk_callers_outside_the_shim(self):
+        offenders = [
+            rel for rel, text in self._src_files()
+            if "FaultyDisk(" in text and rel != "src/repro/faults/__init__.py"
+        ]
+        assert offenders == [], (
+            f"new FaultyDisk callers (use StorageSpec): {offenders}"
+        )
+
+    def test_no_codec_framing_outside_the_crc_layer(self):
+        # encode/decode framing belongs to CrcFramedDevice (and the
+        # faulty layer's detected-corruption path); consumers must see
+        # payload dictionaries only.
+        allowed = self.ALLOWED | {"src/repro/storage/codec.py"}
+        offenders = []
+        for rel, text in self._src_files():
+            if rel in allowed:
+                continue
+            if re.search(r"from repro\.storage\.codec import|"
+                         r"repro\.storage\.codec\.", text):
+                offenders.append(rel)
+        assert offenders == [], (
+            f"codec framing leaked outside the device stack: {offenders}"
+        )

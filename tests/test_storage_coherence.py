@@ -1,121 +1,131 @@
 """Regression tests: storage-cache coherence and copy semantics.
 
-Two bugs fixed in the observability PR live here so they cannot return:
+Two bugs fixed in the observability PR live here so they cannot return,
+re-expressed against the layered device stack:
 
-* stale reads — a writer going through ``SimulatedDisk.write_block``
-  while a ``BufferPool`` held the block used to keep serving the old
-  payload, because invalidation was opt-in;
-* cache-state leaks — the pool must hand out copies, so mutating a
+* stale reads — a write used to be able to bypass the cache and leave
+  it serving the old payload; now every write enters through
+  :class:`~repro.storage.device.CachingDevice`, whose write-through
+  invalidation is an internal invariant (the weak-ref side channel on
+  the disk is gone);
+* cache-state leaks — the cache must hand out copies, so mutating a
   returned block can never corrupt the cached (or on-device) payload,
-  while a pool read costs exactly one copy.
+  while a cached read costs exactly one copy.
 """
 
 import numpy as np
 
 from repro.storage.allocation import subtree_tiling_allocation
 from repro.storage.blockstore import WaveletBlockStore
-from repro.storage.bufferpool import BufferPool
+from repro.storage.device import CachingDevice
 from repro.storage.disk import SimulatedDisk
 
 
-class TestWriteThroughInvalidation:
-    def test_direct_device_write_invalidates_cached_block(self):
-        disk = SimulatedDisk(block_size=4)
-        disk.write_block(0, {0: 1.0, 1: 2.0})
-        pool = BufferPool(disk, capacity=2)
-        assert pool.read_block(0) == {0: 1.0, 1: 2.0}
-        # A writer bypassing the pool: before the write-through hook this
-        # left the pool serving the stale {0: 1.0, 1: 2.0} payload.
-        disk.write_block(0, {0: 9.0, 1: 2.0})
-        assert pool.read_block(0) == {0: 9.0, 1: 2.0}
-        assert pool.stats.invalidations == 1
+def build_cached(block_size=4, capacity=2):
+    """One cache over one disk — the minimal coherent stack."""
+    disk = SimulatedDisk(block_size=block_size)
+    return disk, CachingDevice(disk, capacity=capacity)
 
-    def test_every_attached_pool_is_invalidated(self):
-        disk = SimulatedDisk(block_size=2)
-        disk.write_block("b", {0: 1.0})
-        first = BufferPool(disk, capacity=1)
-        second = BufferPool(disk, capacity=1)
-        first.read_block("b")
-        second.read_block("b")
-        disk.write_block("b", {0: 2.0})
-        assert first.read_block("b") == {0: 2.0}
-        assert second.read_block("b") == {0: 2.0}
+
+class TestWriteThroughInvalidation:
+    def test_write_through_stack_invalidates_cached_block(self):
+        disk, cache = build_cached()
+        cache.write_block(0, {0: 1.0, 1: 2.0})
+        assert cache.read_block(0) == {0: 1.0, 1: 2.0}
+        # The write enters through the stack, so the cache invalidates
+        # its own copy — no side channel, no opt-in hook.
+        cache.write_block(0, {0: 9.0, 1: 2.0})
+        assert cache.read_block(0) == {0: 9.0, 1: 2.0}
+        assert disk.read_block(0) == {0: 9.0, 1: 2.0}
+        assert cache.pool_stats.invalidations == 1
 
     def test_untouched_blocks_stay_cached(self):
-        disk = SimulatedDisk(block_size=2)
-        disk.write_block(0, {0: 1.0})
-        disk.write_block(1, {1: 5.0})
-        pool = BufferPool(disk, capacity=4)
-        pool.read_block(0)
-        pool.read_block(1)
-        disk.write_block(0, {0: 2.0})
-        before = pool.stats.snapshot()
-        assert pool.read_block(1) == {1: 5.0}
-        assert pool.stats.delta(before).hits == 1  # still served hot
+        disk, cache = build_cached(block_size=2, capacity=4)
+        cache.write_block(0, {0: 1.0})
+        cache.write_block(1, {1: 5.0})
+        cache.read_block(0)
+        cache.read_block(1)
+        cache.write_block(0, {0: 2.0})
+        before = cache.pool_stats.snapshot()
+        assert cache.read_block(1) == {1: 5.0}
+        assert cache.pool_stats.delta(before).hits == 1  # still served hot
 
-    def test_store_update_through_pool_is_coherent(self):
+    def test_store_update_through_cache_is_coherent(self):
         flat = np.arange(16, dtype=float)
         store = WaveletBlockStore(
             flat, subtree_tiling_allocation(16, 3), pool_capacity=8
         )
-        # Warm the pool over every block, then update one coefficient.
+        # Warm the cache over every block, then update one coefficient.
         store.fetch(list(range(16)))
         store.update(5, 123.0)
         assert store.fetch([5])[5] == 123.0
 
     def test_manual_invalidate_still_available(self):
+        disk, cache = build_cached(block_size=2)
+        cache.write_block(0, {0: 1.0})
+        cache.read_block(0)
+        cache.invalidate(0)
+        before = cache.pool_stats.snapshot()
+        cache.read_block(0)
+        assert cache.pool_stats.delta(before).misses == 1
+
+    def test_disk_has_no_invalidation_side_channel(self):
+        # The old design registered caches on the disk through a weak-ref
+        # set; the leaf device must know nothing about caches now.
         disk = SimulatedDisk(block_size=2)
-        disk.write_block(0, {0: 1.0})
-        pool = BufferPool(disk, capacity=2)
-        pool.read_block(0)
-        pool.invalidate(0)
-        before = pool.stats.snapshot()
-        pool.read_block(0)
-        assert pool.stats.delta(before).misses == 1
+        assert not hasattr(disk, "attach_cache")
+        assert not hasattr(disk, "_caches")
 
 
 class TestReturnedBlockOwnership:
     def test_mutating_miss_result_does_not_corrupt_cache(self):
-        disk = SimulatedDisk(block_size=4)
-        disk.write_block(0, {0: 1.0, 1: 2.0})
-        pool = BufferPool(disk, capacity=2)
-        returned = pool.read_block(0)  # miss
+        disk, cache = build_cached()
+        cache.write_block(0, {0: 1.0, 1: 2.0})
+        returned = cache.read_block(0)  # miss
         returned[0] = 666.0
         returned[7] = -1.0
-        assert pool.read_block(0) == {0: 1.0, 1: 2.0}
+        assert cache.read_block(0) == {0: 1.0, 1: 2.0}
 
     def test_mutating_hit_result_does_not_corrupt_cache(self):
-        disk = SimulatedDisk(block_size=4)
-        disk.write_block(0, {0: 1.0})
-        pool = BufferPool(disk, capacity=2)
-        pool.read_block(0)
-        hit = pool.read_block(0)
+        disk, cache = build_cached()
+        cache.write_block(0, {0: 1.0})
+        cache.read_block(0)
+        hit = cache.read_block(0)
         hit[0] = 666.0
-        assert pool.read_block(0) == {0: 1.0}
+        assert cache.read_block(0) == {0: 1.0}
 
-    def test_mutating_pool_result_does_not_corrupt_device(self):
-        disk = SimulatedDisk(block_size=4)
-        disk.write_block(0, {0: 1.0})
-        pool = BufferPool(disk, capacity=2)
-        pool.read_block(0)[0] = 666.0
-        pool.clear()
+    def test_mutating_cache_result_does_not_corrupt_device(self):
+        disk, cache = build_cached()
+        cache.write_block(0, {0: 1.0})
+        cache.read_block(0)[0] = 666.0
+        cache.clear()
         assert disk.read_block(0) == {0: 1.0}
 
     def test_miss_serves_device_payload_without_extra_copy(self):
-        # The cache entry is the device payload itself (one shared,
-        # never-mutated instance); only the caller's copy is fresh.
-        disk = SimulatedDisk(block_size=4)
-        disk.write_block(0, {0: 1.0})
-        pool = BufferPool(disk, capacity=2)
-        returned = pool.read_block(0)
+        # Single-copy reads: the cache entry is the device payload itself
+        # (one shared, never-mutated instance); only the caller's copy is
+        # fresh.
+        disk, cache = build_cached()
+        cache.write_block(0, {0: 1.0})
+        returned = cache.read_block(0)
         assert returned == {0: 1.0}
-        assert pool._cache[0] is disk._blocks[0]
-        assert returned is not pool._cache[0]
+        assert cache._cache[0] is disk._blocks[0]
+        assert returned is not cache._cache[0]
+
+    def test_hit_serves_the_same_shared_instance(self):
+        # Single-copy reads on the hit path too: a shared read returns
+        # the cached instance itself, with no per-hit copying.
+        disk, cache = build_cached()
+        cache.write_block(0, {0: 1.0})
+        first = cache.read_block_shared(0)
+        second = cache.read_block_shared(0)
+        assert first is second
+        assert cache.pool_stats.hits == 1
 
     def test_shared_read_counts_io(self):
         disk = SimulatedDisk(block_size=4)
         disk.write_block(0, {0: 1.0})
-        before = disk.stats.snapshot()
+        before = disk.io.snapshot()
         shared = disk.read_block_shared(0)
         assert shared == {0: 1.0}
-        assert disk.stats.delta(before).reads == 1
+        assert disk.io.delta(before).reads == 1

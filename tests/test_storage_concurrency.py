@@ -1,12 +1,12 @@
 """Thread-safety of the storage layer: concurrent readers and writers
-through ``SimulatedDisk`` and ``BufferPool``.
+through ``SimulatedDisk`` and the ``CachingDevice`` middleware.
 
 Three invariants under concurrency:
 
 * **no lost stats updates** — every read/write/hit/miss is counted
   exactly once, so the counters are conserved across any interleaving;
 * **no stale reads** — after a write completes, no subsequent read (from
-  the pool or the device) may return the pre-write payload, even when a
+  the cache or the device) may return the pre-write payload, even when a
   concurrent miss was in flight during the write;
 * **no torn payloads** — readers always see some complete payload a
   writer stored, never a mixture of two writes.
@@ -14,8 +14,9 @@ Three invariants under concurrency:
 
 import threading
 
-from repro.storage.bufferpool import BufferPool
+from repro.storage.device import CachingDevice
 from repro.storage.disk import SimulatedDisk
+from repro.storage.latency import LatencyModel
 
 
 def run_threads(targets):
@@ -32,32 +33,34 @@ class TestStatsConservation:
         for b in range(8):
             disk.write_block(b, {b: float(b)})
         per_thread, n_threads = 300, 8
-        base = disk.stats.snapshot()
+        base = disk.io.snapshot()
 
         def reader():
             for i in range(per_thread):
                 disk.read_block(i % 8)
 
         run_threads([reader] * n_threads)
-        assert disk.stats.delta(base).reads == per_thread * n_threads
+        assert disk.io.delta(base).reads == per_thread * n_threads
 
-    def test_concurrent_pool_traffic_conserves_hit_miss_counts(self):
+    def test_concurrent_cache_traffic_conserves_hit_miss_counts(self):
         disk = SimulatedDisk(block_size=4)
+        cache = CachingDevice(disk, capacity=4)  # small: constant evictions
         for b in range(16):
-            disk.write_block(b, {b: float(b)})
-        pool = BufferPool(disk, capacity=4)  # small: constant evictions
+            cache.write_block(b, {b: float(b)})
+        base_reads = disk.io.reads
         per_thread, n_threads = 300, 8
 
         def reader(seed):
             def run():
                 for i in range(per_thread):
-                    pool.read_block((i * (seed + 1) + seed) % 16)
+                    cache.read_block((i * (seed + 1) + seed) % 16)
             return run
 
         run_threads([reader(s) for s in range(n_threads)])
-        assert pool.stats.hits + pool.stats.misses == per_thread * n_threads
+        stats = cache.pool_stats
+        assert stats.hits + stats.misses == per_thread * n_threads
         # Every miss is a device read, and nothing else reads the device.
-        assert disk.stats.reads == pool.stats.misses
+        assert disk.io.reads - base_reads == stats.misses
 
     def test_concurrent_writers_lose_no_write_counts(self):
         disk = SimulatedDisk(block_size=4)
@@ -72,33 +75,34 @@ class TestStatsConservation:
             return run
 
         run_threads([writer(s) for s in range(n_threads)])
-        assert disk.stats.writes == per_thread * n_threads
+        assert disk.io.writes == per_thread * n_threads
         assert len(disk) == n_threads * 10
 
 
 class TestCoherenceUnderConcurrency:
     def test_no_stale_reads_with_concurrent_writes(self):
-        # A writer bumps a monotonically increasing version; readers go
-        # through the pool.  A read that returns version v after a write
-        # of version w > v completed *before the read started* would be a
-        # stale read.  Monotonicity per reader is the checkable proxy:
-        # cached payloads may lag the in-flight write, but they may never
-        # roll back past a version the same reader already observed.
+        # A writer bumps a monotonically increasing version through the
+        # stack; readers go through the cache.  A read that returns
+        # version v after a write of version w > v completed *before the
+        # read started* would be a stale read.  Monotonicity per reader
+        # is the checkable proxy: cached payloads may lag the in-flight
+        # write, but they may never roll back past a version the same
+        # reader already observed.
         disk = SimulatedDisk(block_size=4)
-        disk.write_block("hot", {0: 0.0})
-        pool = BufferPool(disk, capacity=2)
+        cache = CachingDevice(disk, capacity=2)
+        cache.write_block("hot", {0: 0.0})
         stop = threading.Event()
         errors = []
 
         def writer():
             for version in range(1, 400):
-                disk.write_block("hot", {0: float(version)})
+                cache.write_block("hot", {0: float(version)})
             stop.set()
 
         def reader():
             last = -1.0
             while not stop.is_set():
-                seen = pool.read_block("hot")[0]
+                seen = cache.read_block("hot")[0]
                 if seen < last:
                     errors.append((last, seen))
                     return
@@ -106,17 +110,17 @@ class TestCoherenceUnderConcurrency:
 
         run_threads([writer] + [reader] * 4)
         assert errors == []
-        # After the dust settles the pool must serve the final payload —
+        # After the dust settles the cache must serve the final payload —
         # the in-flight-miss window may not have cached a stale one.
-        assert pool.read_block("hot") == {0: 399.0}
-        assert pool.read_block("hot") == {0: 399.0}  # now from cache
+        assert cache.read_block("hot") == {0: 399.0}
+        assert cache.read_block("hot") == {0: 399.0}  # now from cache
 
     def test_no_torn_payloads(self):
         # Writers store internally consistent payloads {0: v, 1: v};
         # readers must never observe {0: a, 1: b} with a != b.
         disk = SimulatedDisk(block_size=4)
-        disk.write_block("b", {0: 0.0, 1: 0.0})
-        pool = BufferPool(disk, capacity=2)
+        cache = CachingDevice(disk, capacity=2)
+        cache.write_block("b", {0: 0.0, 1: 0.0})
         stop = threading.Event()
         torn = []
 
@@ -124,12 +128,12 @@ class TestCoherenceUnderConcurrency:
             def run():
                 for i in range(300):
                     v = float(i * 10 + offset)
-                    disk.write_block("b", {0: v, 1: v})
+                    cache.write_block("b", {0: v, 1: v})
             return run
 
         def reader():
             while not stop.is_set():
-                payload = pool.read_block("b")
+                payload = cache.read_block("b")
                 if payload[0] != payload[1]:
                     torn.append(payload)
                     return
@@ -145,16 +149,16 @@ class TestCoherenceUnderConcurrency:
 
     def test_mutating_a_concurrent_copy_never_leaks_into_cache(self):
         disk = SimulatedDisk(block_size=4)
-        disk.write_block(0, {0: 1.0})
-        pool = BufferPool(disk, capacity=2)
+        cache = CachingDevice(disk, capacity=2)
+        cache.write_block(0, {0: 1.0})
 
         def clobber():
             for _ in range(200):
-                copy = pool.read_block(0)
+                copy = cache.read_block(0)
                 copy[0] = -99.0  # caller-owned copy; must not leak
 
         run_threads([clobber] * 4)
-        assert pool.read_block(0) == {0: 1.0}
+        assert cache.read_block(0) == {0: 1.0}
         assert disk.read_block(0) == {0: 1.0}
 
 
@@ -164,14 +168,22 @@ class TestSimulatedLatency:
 
         from repro.core.errors import StorageError
 
-        assert SimulatedDisk(block_size=2).latency_s == 0.0
+        assert SimulatedDisk(block_size=2).latency is None
         with pytest.raises(StorageError):
             SimulatedDisk(block_size=2, latency_s=-0.1)
+        with pytest.raises(StorageError):
+            LatencyModel(base_s=-0.1)
+
+    def test_legacy_latency_float_folds_into_the_model(self):
+        disk = SimulatedDisk(block_size=2, latency_s=0.01)
+        assert disk.latency is not None
+        assert disk.latency.base_s == 0.01
 
     def test_concurrent_reads_overlap_their_latency(self):
         import time
 
-        disk = SimulatedDisk(block_size=2, latency_s=0.01)
+        disk = SimulatedDisk(block_size=2,
+                             latency=LatencyModel(base_s=0.01))
         disk.write_block(0, {0: 1.0})
         n = 8
         start = time.perf_counter()

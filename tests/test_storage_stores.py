@@ -1,4 +1,4 @@
-"""Tests for disk, buffer pool, block stores, BLOB store and scheduler."""
+"""Tests for disk, caching device, block stores, BLOB store and scheduler."""
 
 import numpy as np
 import pytest
@@ -11,7 +11,7 @@ from repro.storage.allocation import (
 )
 from repro.storage.blobstore import BlobStore
 from repro.storage.blockstore import TensorBlockStore, WaveletBlockStore
-from repro.storage.bufferpool import BufferPool
+from repro.storage.device import CachingDevice
 from repro.storage.disk import SimulatedDisk
 from repro.storage.scheduler import plan_blocks
 from repro.wavelets.errortree import leaf_path
@@ -25,15 +25,15 @@ class TestSimulatedDisk:
         disk = SimulatedDisk(block_size=4)
         disk.write_block(0, {1: 1.5, 2: -0.5})
         assert disk.read_block(0) == {1: 1.5, 2: -0.5}
-        assert disk.stats.reads == 1
-        assert disk.stats.writes == 1
+        assert disk.io.reads == 1
+        assert disk.io.writes == 1
 
     def test_reads_counted(self):
         disk = SimulatedDisk(block_size=4)
         disk.write_block("a", {0: 0.0})
         for _ in range(5):
             disk.read_block("a")
-        assert disk.stats.reads == 5
+        assert disk.io.reads == 5
 
     def test_overfull_block_rejected(self):
         disk = SimulatedDisk(block_size=2)
@@ -47,10 +47,10 @@ class TestSimulatedDisk:
     def test_stats_delta(self):
         disk = SimulatedDisk(block_size=4)
         disk.write_block(0, {0: 1.0})
-        before = disk.stats.snapshot()
+        before = disk.io.snapshot()
         disk.read_block(0)
         disk.read_block(0)
-        delta = disk.stats.delta(before)
+        delta = disk.io.delta(before)
         assert delta.reads == 2 and delta.writes == 0
 
     def test_occupancy(self):
@@ -67,44 +67,44 @@ class TestSimulatedDisk:
         assert disk.read_block(0)[0] == 1.0
 
 
-class TestBufferPool:
+class TestCachingDevice:
     def test_hits_avoid_device_reads(self):
         disk = SimulatedDisk(block_size=4)
         disk.write_block(0, {0: 1.0})
-        pool = BufferPool(disk, capacity=2)
+        pool = CachingDevice(disk, capacity=2)
         pool.read_block(0)
         pool.read_block(0)
-        assert disk.stats.reads == 1
-        assert pool.stats.hits == 1
-        assert pool.stats.misses == 1
+        assert disk.io.reads == 1
+        assert pool.pool_stats.hits == 1
+        assert pool.pool_stats.misses == 1
 
     def test_lru_eviction(self):
         disk = SimulatedDisk(block_size=4)
         for b in range(3):
             disk.write_block(b, {b: float(b)})
-        pool = BufferPool(disk, capacity=2)
+        pool = CachingDevice(disk, capacity=2)
         pool.read_block(0)
         pool.read_block(1)
         pool.read_block(2)  # evicts 0
         pool.read_block(0)  # miss again
-        assert pool.stats.misses == 4
+        assert pool.pool_stats.misses == 4
 
     def test_lru_recency_updates(self):
         disk = SimulatedDisk(block_size=4)
         for b in range(3):
             disk.write_block(b, {b: float(b)})
-        pool = BufferPool(disk, capacity=2)
+        pool = CachingDevice(disk, capacity=2)
         pool.read_block(0)
         pool.read_block(1)
         pool.read_block(0)  # 0 now most recent
         pool.read_block(2)  # evicts 1
         pool.read_block(0)  # hit
-        assert pool.stats.hits == 2
+        assert pool.pool_stats.hits == 2
 
     def test_invalidate(self):
         disk = SimulatedDisk(block_size=4)
         disk.write_block(0, {0: 1.0})
-        pool = BufferPool(disk, capacity=2)
+        pool = CachingDevice(disk, capacity=2)
         pool.read_block(0)
         disk.write_block(0, {0: 2.0})
         pool.invalidate(0)
@@ -113,15 +113,15 @@ class TestBufferPool:
     def test_hit_rate(self):
         disk = SimulatedDisk(block_size=4)
         disk.write_block(0, {0: 1.0})
-        pool = BufferPool(disk, capacity=1)
-        assert pool.stats.hit_rate == 0.0
+        pool = CachingDevice(disk, capacity=1)
+        assert pool.pool_stats.hit_rate == 0.0
         pool.read_block(0)
         pool.read_block(0)
-        assert pool.stats.hit_rate == 0.5
+        assert pool.pool_stats.hit_rate == 0.5
 
     def test_capacity_validated(self):
         with pytest.raises(StorageError):
-            BufferPool(SimulatedDisk(block_size=2), capacity=0)
+            CachingDevice(SimulatedDisk(block_size=2), capacity=0)
 
 
 class TestWaveletBlockStore:
