@@ -1,0 +1,168 @@
+"""P4 — lint throughput: the invariant linter is cheap enough to gate CI.
+
+Two claims ``repro.lint`` must earn quantitatively:
+
+* **a full-repo lint is interactive-fast** — parsing every file under
+  ``src/repro`` and running all rule packs completes well under the
+  5 s budget, so ``aims lint`` can sit in the inner development loop
+  and the ``lint-invariants`` CI job adds negligible wall clock;
+* **the lock watcher's fast path is free** — with ``REPRO_LOCKWATCH``
+  off, :func:`~repro.lint.lockwatch.watched_lock` hands out plain
+  ``threading.Lock`` objects, so an instrumented-codepath hot loop
+  costs the same as one that never heard of the watcher.
+
+Results land in ``benchmarks/results/P4_lint.txt`` (table) and in
+``BENCH_lint.json`` at the repo root (machine-readable: per-rule file
+and finding counts, wall-clock stats) — CI uploads the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.lint import LintEngine, all_rules, lint_repo, repo_root
+from repro.lint import lockwatch
+
+from conftest import format_table
+
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_lint.json"
+
+FULL_BUDGET_S = 5.0
+ROUNDS = 3
+LOCK_ITERS = 50_000
+
+
+def count_source_files(root: Path) -> int:
+    return sum(
+        1
+        for p in (root / "src" / "repro").rglob("*.py")
+        if "__pycache__" not in p.parts
+    )
+
+
+def time_full_lint() -> dict:
+    """Wall clock for a complete src/repro lint, best/mean of ROUNDS."""
+    root = repo_root()
+    timings = []
+    findings = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        findings = lint_repo(root)
+        timings.append(time.perf_counter() - started)
+    return {
+        "files": count_source_files(root),
+        "rules": len(all_rules()),
+        "findings": len(findings),
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "rounds": ROUNDS,
+        "best_s": round(min(timings), 4),
+        "mean_s": round(sum(timings) / len(timings), 4),
+    }
+
+
+def time_per_rule() -> list[dict]:
+    """Each rule alone over the tree: where the lint budget goes."""
+    root = repo_root()
+    rows = []
+    for rule in all_rules():
+        started = time.perf_counter()
+        findings = LintEngine([rule]).lint_paths(
+            [root / "src" / "repro"], root=root
+        )
+        rows.append(
+            {
+                "rule": rule.rule_id,
+                "findings": len(findings),
+                "wall_s": round(time.perf_counter() - started, 4),
+            }
+        )
+    return rows
+
+
+def time_lock_path(make_lock) -> float:
+    """Uncontended acquire/release hot loop through ``with``."""
+    lock = make_lock()
+    started = time.perf_counter()
+    for _ in range(LOCK_ITERS):
+        with lock:
+            pass
+    return time.perf_counter() - started
+
+
+def lockwatch_overhead() -> dict:
+    """Fast path (watcher off) vs plain Lock vs instrumented lock."""
+    lockwatch.disable()
+    try:
+        time_lock_path(threading.Lock)  # warm the timer path
+        plain = time_lock_path(threading.Lock)
+        fast = time_lock_path(lambda: lockwatch.watched_lock("bench.fast"))
+    finally:
+        lockwatch._forced = None
+    lockwatch.enable()
+    try:
+        lockwatch.reset()
+        watched = time_lock_path(
+            lambda: lockwatch.watched_lock("bench.watched")
+        )
+    finally:
+        lockwatch.disable()
+        lockwatch.reset()
+        lockwatch._forced = None
+    return {
+        "iterations": LOCK_ITERS,
+        "plain_lock_s": round(plain, 4),
+        "fastpath_lock_s": round(fast, 4),
+        "instrumented_lock_s": round(watched, 4),
+        "fastpath_overhead_ratio": round(fast / plain, 3) if plain else 1.0,
+    }
+
+
+def run_benchmark() -> dict:
+    full = time_full_lint()
+    per_rule = time_per_rule()
+    locks = lockwatch_overhead()
+    payload = {
+        "schema": "repro.bench/lint-v1",
+        "budget_s": FULL_BUDGET_S,
+        "full": full,
+        "per_rule": per_rule,
+        "lockwatch": locks,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_p4_lint_throughput(emit, benchmark):
+    payload = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    full = payload["full"]
+    locks = payload["lockwatch"]
+    rows = [
+        [r["rule"], r["findings"], f"{r['wall_s'] * 1e3:.0f}"]
+        for r in payload["per_rule"]
+    ]
+    emit(
+        "P4_lint",
+        format_table(["rule", "findings", "ms"], rows)
+        + f"\nfull lint: {full['files']} files x {full['rules']} rules in "
+        f"{full['mean_s']:.2f}s mean ({full['best_s']:.2f}s best), "
+        f"{full['errors']} error(s)"
+        + f"\nlockwatch fast path: {locks['fastpath_overhead_ratio']}x "
+        f"plain Lock over {locks['iterations']} with-blocks"
+        + f"\nJSON baseline written to {JSON_PATH.name}",
+    )
+    # The CI-gating claim: a full lint fits the interactive budget.
+    assert full["mean_s"] < FULL_BUDGET_S
+    # The repo itself lints clean at merge (violations are fixed or
+    # carry justified suppressions).
+    assert full["errors"] == 0
+    # Fast path means *plain* locks: identity, not just speed.
+    lockwatch.disable()
+    try:
+        assert type(lockwatch.watched_lock("bench.identity")) is type(
+            threading.Lock()
+        )
+    finally:
+        lockwatch._forced = None

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli olap                         # Fig. 4 pivot demo
     python -m repro.cli chaos --fault-rate 0.05      # resilience drill
     python -m repro.cli stats                        # observability report
+    python -m repro.cli lint --format json           # invariant linter
     python -m repro.cli info                         # system inventory
 
 Each subcommand is a thin wrapper over the public API, so the CLI doubles
@@ -332,6 +333,65 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the architectural-invariant linter (``repro.lint``).
+
+    Exits 0 when every rule is clean (or explicitly suppressed with a
+    justification comment), 1 when any error-severity finding remains,
+    2 on usage errors — the contract the ``lint-invariants`` CI job
+    gates on.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.lint import LintEngine, all_rules, get_rule, repo_root
+
+    rules = all_rules()
+    if args.rules:
+        rules = [
+            get_rule(rule_id.strip())
+            for rule_id in args.rules.split(",")
+            if rule_id.strip()
+        ]
+    root = repo_root()
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        default = root / "src" / "repro"
+        if not default.is_dir():
+            print("no src/repro tree next to the installed package; "
+                  "pass explicit paths to lint", file=sys.stderr)
+            return 2
+        paths = [default]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path(s): {missing}", file=sys.stderr)
+        return 2
+    findings = LintEngine(rules).lint_paths(paths, root=root)
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "schema": "repro.lint/v1",
+                "rules": [
+                    {"id": r.rule_id, "severity": r.severity,
+                     "description": r.description}
+                    for r in rules
+                ],
+                "findings": [f.as_dict() for f in findings],
+                "summary": {"errors": errors, "warnings": warnings},
+            },
+            indent=2,
+        ))
+    else:
+        for finding in findings:
+            print(finding.format())
+        print(f"aims lint: {errors} error(s), {warnings} warning(s) "
+              f"({len(rules)} rule(s))")
+    return 1 if errors else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Aggregate the benchmark result tables into one report."""
     from pathlib import Path
@@ -411,6 +471,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--json", action="store_true",
                        help="emit the metrics registry as JSON")
+
+    lint = sub.add_parser(
+        "lint",
+        help="check the architectural invariants (repro.lint)",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint "
+                           "(default: the src/repro tree)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", help="report format (default text)")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule ids to run "
+                           "(default: every registered rule)")
     return parser
 
 
@@ -423,6 +496,7 @@ _HANDLERS = {
     "chaos": _cmd_chaos,
     "report": _cmd_report,
     "stats": _cmd_stats,
+    "lint": _cmd_lint,
 }
 
 

@@ -23,10 +23,10 @@ States and metrics::
 
 from __future__ import annotations
 
-import threading
 import time
 
 from repro.core.errors import StorageError
+from repro.lint.lockwatch import watched_lock
 from repro.obs import counter as obs_counter
 from repro.obs import gauge as obs_gauge
 
@@ -76,7 +76,7 @@ class CircuitBreaker:
         self.half_open_probes = half_open_probes
         self.name = name
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = watched_lock("faults.breaker")
         self._state = "closed"
         self._consecutive_failures = 0
         self._opened_at = 0.0

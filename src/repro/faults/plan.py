@@ -34,11 +34,11 @@ draws replay independently from the latency model's own seeded RNG.
 from __future__ import annotations
 
 import random
-import threading
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.errors import StorageError
+from repro.lint.lockwatch import watched_lock
 from repro.obs import counter as obs_counter
 from repro.storage.codec import decode_block, encode_block
 from repro.storage.device import DeviceLayer
@@ -130,7 +130,7 @@ class FaultPlan:
                 spike_s=self.latency_spike_s,
                 seed=self.seed,
             )
-        self._lock = threading.Lock()
+        self._lock = watched_lock("faults.plan")
         self._rng = random.Random(self.seed)
         self._ops = 0
 

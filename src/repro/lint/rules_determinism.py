@@ -1,0 +1,126 @@
+"""Determinism rules: every random draw in the library is seeded.
+
+The benchmark suite's claims (EXPERIMENTS.md) are reproducible only
+because every stochastic component draws from an explicitly seeded
+generator — ``np.random.default_rng(seed)`` or ``random.Random(seed)``.
+``determinism-seeded-rng`` bans the global-state alternatives inside
+``src/repro``: module-level ``np.random.*`` convenience functions,
+module-level ``random.*`` draws, unseeded ``default_rng()`` /
+``Random()``, and ``SystemRandom`` (unseedable by design).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import BaseRule, FileContext, Finding, register
+
+__all__ = ["SeededRngRule"]
+
+#: ``np.random`` members that are fine: seeded-generator entry points.
+NP_RANDOM_ALLOWED = frozenset(
+    {"Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox",
+     "default_rng"}
+)
+
+#: ``random``-module draw functions that mutate the hidden global RNG.
+RANDOM_MODULE_DRAWS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+def _imported_names(tree: ast.AST) -> dict[str, str]:
+    """Map of local alias -> imported module for plain ``import`` forms."""
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = alias.name
+    return out
+
+
+@register
+class SeededRngRule(BaseRule):
+    rule_id = "determinism-seeded-rng"
+    severity = "error"
+    description = (
+        "library code draws randomness from seeded generators only "
+        "(np.random.default_rng(seed) / random.Random(seed))"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield every violation of this rule in one file."""
+        if not ctx.in_package("repro"):
+            return
+        imports = _imported_names(ctx.tree)
+        numpy_aliases = {
+            alias for alias, mod in imports.items() if mod == "numpy"
+        }
+        random_aliases = {
+            alias for alias, mod in imports.items() if mod == "random"
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            value = func.value
+            # np.random.<fn>(...)
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in numpy_aliases
+            ):
+                if func.attr == "default_rng":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "np.random.default_rng() without a seed; "
+                            "pass an explicit seed for reproducible runs",
+                        )
+                elif func.attr not in NP_RANDOM_ALLOWED:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"np.random.{func.attr}() uses numpy's hidden "
+                        f"global RNG; draw from a seeded "
+                        f"np.random.default_rng(seed) instead",
+                    )
+            # random.<fn>(...)
+            elif (
+                isinstance(value, ast.Name) and value.id in random_aliases
+            ):
+                if func.attr in RANDOM_MODULE_DRAWS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"random.{func.attr}() uses the hidden global "
+                        f"RNG; draw from a seeded random.Random(seed) "
+                        f"instead",
+                    )
+                elif func.attr == "Random" and not node.args and not (
+                    node.keywords
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "random.Random() without a seed; pass an "
+                        "explicit seed for reproducible runs",
+                    )
+                elif func.attr == "SystemRandom":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "random.SystemRandom is unseedable; benchmarks "
+                        "cannot replay its draws",
+                    )

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import bisect
 import os
-import threading
 from collections import deque
 from contextlib import contextmanager
 from typing import Iterator
+
+from repro.lint.lockwatch import watched_lock
 
 __all__ = [
     "Counter",
@@ -67,7 +68,7 @@ class Counter:
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
-        self._lock = threading.Lock()
+        self._lock = watched_lock("obs.counter")
 
     def inc(self, amount: int | float = 1) -> None:
         """Add ``amount`` (default 1) to the tally."""
@@ -133,7 +134,7 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
-        self._lock = threading.Lock()
+        self._lock = watched_lock("obs.histogram")
 
     def observe(self, value: float) -> None:
         """Record one observation (atomic across all fields)."""
@@ -198,7 +199,7 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self.spans: deque = deque(maxlen=max_spans)
-        self._lock = threading.Lock()
+        self._lock = watched_lock("obs.registry")
 
     def counter(self, name: str) -> Counter:
         """The counter registered under ``name`` (created on first use)."""

@@ -39,6 +39,7 @@ from concurrent.futures import Future
 from typing import Hashable, Iterator
 
 from repro.core.errors import QueryError, StorageError
+from repro.lint.lockwatch import watched_lock
 from repro.obs import DEFAULT_COUNT_BUCKETS, DEFAULT_LATENCY_BUCKETS
 from repro.obs import counter as obs_counter
 from repro.obs import gauge as obs_gauge
@@ -102,7 +103,7 @@ class ScanCoordinator:
     def __init__(self, store) -> None:
         self._store = store
         self._shard_of = getattr(store, "shard_of", None) or (lambda b: 0)
-        self._lock = threading.Lock()
+        self._lock = watched_lock("query.scan")
         self._inflight: dict[tuple[int, Hashable], _Flight] = {}
         self.fetches = 0
         self.shared = 0
@@ -330,7 +331,7 @@ class QueryService:
         self.degraded = 0
         self._tasks: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._closed = False
-        self._lock = threading.Lock()
+        self._lock = watched_lock("query.service")
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,

@@ -21,11 +21,11 @@ the lock is released, so concurrent reads overlap their seek time.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
 from repro.core.errors import StorageError
+from repro.lint.lockwatch import watched_lock
 from repro.obs.stats import StatsBase
 from repro.storage.latency import LatencyModel
 
@@ -46,7 +46,7 @@ class IOStats(StatsBase):
 
 
 @dataclass
-class SimulatedDisk:
+class SimulatedDisk:  # lint: ignore[obs-coverage] — deliberately dumb leaf; storage.disk.* metering is the MeteredDevice directly above
     """Leaf block device: block id -> payload.
 
     Payloads are either dictionaries from item key (e.g. flat
@@ -79,7 +79,7 @@ class SimulatedDisk:
             self.latency = LatencyModel(base_s=self.latency_s)
         # Guards the block directory and the IOStats counters; never
         # held while sleeping simulated latency.
-        self._lock = threading.Lock()
+        self._lock = watched_lock("storage.disk")
 
     def __len__(self) -> int:
         with self._lock:

@@ -19,10 +19,10 @@ hold a device lock across :meth:`LatencyModel.sleep`.
 from __future__ import annotations
 
 import random
-import threading
 import time
 
 from repro.core.errors import StorageError
+from repro.lint.lockwatch import watched_lock
 from repro.obs import counter as obs_counter
 
 __all__ = ["LatencyModel"]
@@ -61,7 +61,7 @@ class LatencyModel:
         self.seed = seed
         self.spikes = 0
         self._rng = random.Random(seed)
-        self._lock = threading.Lock()
+        self._lock = watched_lock("storage.latency")
 
     def delay(self) -> float:
         """Draw the next read's delay in seconds (base plus maybe a spike).

@@ -103,8 +103,8 @@ class SignalArchive:
     def retrieve_exact(self) -> np.ndarray:
         """Full-fidelity retrieval (reads every block)."""
         last = None
-        for last in self.retrieve_progressive():
-            pass
+        for step in self.retrieve_progressive():
+            last = step
         return last.signal
 
     def retrieve_progressive(self) -> Iterator[ProgressiveSignal]:

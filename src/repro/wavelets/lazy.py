@@ -27,13 +27,13 @@ coefficient-for-coefficient (a property the test suite asserts).
 from __future__ import annotations
 
 import math
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.errors import TransformError
+from repro.lint.lockwatch import watched_lock
 from repro.obs import counter as obs_counter
 from repro.obs import gauge as obs_gauge
 from repro.wavelets.dwt import max_levels
@@ -355,7 +355,7 @@ class TranslationCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._lock = threading.Lock()
+        self._lock = watched_lock("wavelets.transcache")
         self._entries: OrderedDict[tuple, SparseWaveletVector] = OrderedDict()
 
     def __len__(self) -> int:

@@ -63,9 +63,11 @@ def tensor_wavedec(
     for axis, depth in enumerate(levels):
         if depth == 0:
             continue
-        out = np.apply_along_axis(
-            lambda vec: wavedec(vec, filt, levels=depth).to_flat(), axis, out
-        )
+
+        def decompose(vec: np.ndarray, depth: int = depth) -> np.ndarray:
+            return wavedec(vec, filt, levels=depth).to_flat()
+
+        out = np.apply_along_axis(decompose, axis, out)
     return out
 
 

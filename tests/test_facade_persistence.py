@@ -95,8 +95,8 @@ class TestMaxObjectiveBatch:
         cube, engine, queries = self._setup()
         batch = BatchEvaluator(engine)
         last = None
-        for last in batch.evaluate_progressive(queries, objective="max"):
-            pass
+        for step in batch.evaluate_progressive(queries, objective="max"):
+            last = step
         for value, q in zip(last.estimates, queries):
             assert value == pytest.approx(evaluate_on_cube(cube, q))
 

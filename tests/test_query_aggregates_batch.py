@@ -130,8 +130,8 @@ class TestBatch:
         queries = self._group_by_queries()
         batch = BatchEvaluator(engine)
         last = None
-        for last in batch.evaluate_progressive(queries):
-            pass
+        for step in batch.evaluate_progressive(queries):
+            last = step
         for value, query in zip(last.estimates, queries):
             assert value == pytest.approx(evaluate_on_cube(cube, query))
         assert all(b == pytest.approx(0.0, abs=1e-6) for b in last.error_bounds)

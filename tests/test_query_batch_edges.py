@@ -50,8 +50,8 @@ class TestBatchEdgeCases:
         query = RangeSumQuery.count([(5, 14), (2, 23)])
         evaluator = BatchEvaluator(engine)
         last = None
-        for last in evaluator.evaluate_progressive([query]):
-            pass
+        for step in evaluator.evaluate_progressive([query]):
+            last = step
         assert last.estimates[0] == pytest.approx(
             engine.evaluate_exact(query)
         )
@@ -101,10 +101,10 @@ class TestBatchEdgeCases:
         evaluator = BatchEvaluator(engine)
         for objective in ("l2", "max"):
             last = None
-            for last in evaluator.evaluate_progressive(
+            for step in evaluator.evaluate_progressive(
                 queries, objective=objective
             ):
-                pass
+                last = step
             for qi, query in enumerate(queries):
                 assert last.estimates[qi] == pytest.approx(
                     engine.evaluate_exact(query)

@@ -66,8 +66,8 @@ class TestErrorForecast:
         __, engine = setup
         q = RangeSumQuery.count([(3, 30), (3, 30)])
         last = None
-        for last in engine.evaluate_progressive(q):
-            pass
+        for step in engine.evaluate_progressive(q):
+            last = step
         assert last.error_estimate == pytest.approx(0.0, abs=1e-9)
 
     def test_confidence_interval(self, setup):

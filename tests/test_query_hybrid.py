@@ -128,8 +128,8 @@ class TestProgressiveHybrid:
     def test_converges_to_exact(self, relation, hybrid):
         exact, _ = hybrid.query({0: {2, 5}}, [(5, 50), (0, 31)])
         last = None
-        for last in hybrid.query_progressive({0: {2, 5}}, [(5, 50), (0, 31)]):
-            pass
+        for step in hybrid.query_progressive({0: {2, 5}}, [(5, 50), (0, 31)]):
+            last = step
         assert last.estimate == pytest.approx(exact)
         assert last.error_bound == pytest.approx(0.0, abs=1e-6)
 

@@ -162,6 +162,43 @@ class TestCoherenceUnderConcurrency:
         assert disk.read_block(0) == {0: 1.0}
 
 
+class TestLockOrderUnderStress:
+    def test_full_stack_hammering_creates_no_lock_order_cycles(self):
+        # The watcher decides at lock-creation time, so it must be
+        # enabled before the stack under test is built.
+        from repro.faults.plan import FaultPlan
+        from repro.lint import lockwatch
+        from repro.storage.device import StorageSpec
+
+        lockwatch.enable()
+        lockwatch.reset()
+        try:
+            spec = StorageSpec(
+                shards=2,
+                cache_blocks=4,
+                fault_plan=FaultPlan(seed=7, torn_rate=0.0),
+            )
+            device = spec.build(block_size=4).device
+            for b in range(16):
+                device.write_block(b, {b: float(b)})
+
+            def worker(seed):
+                def run():
+                    for i in range(150):
+                        key = (i * (seed + 1) + seed) % 16
+                        if i % 5 == 0:
+                            device.write_block(key, {key: float(i)})
+                        else:
+                            device.read_block(key)
+                return run
+
+            run_threads([worker(s) for s in range(6)])
+            lockwatch.assert_clean()
+        finally:
+            lockwatch.disable()
+            lockwatch.reset()
+
+
 class TestSimulatedLatency:
     def test_latency_defaults_off_and_validates(self):
         import pytest
