@@ -29,7 +29,7 @@ from repro.storage.device import StorageSpec
 from repro.storage.latency import LatencyModel
 from repro.wavelets.lazy import translation_cache
 
-from conftest import format_table
+from conftest import fmt_ms, format_table, safe_percentile
 
 JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_concurrency.json"
 
@@ -113,8 +113,8 @@ def run_mixed(engine, workers, exact, progressive) -> dict:
         "queries": total,
         "elapsed_s": round(elapsed, 4),
         "throughput_qps": round(total / elapsed, 2),
-        "latency_p50_s": round(float(np.percentile(latencies, 50)), 5),
-        "latency_p95_s": round(float(np.percentile(latencies, 95)), 5),
+        "latency_p50_s": safe_percentile(latencies, 50),
+        "latency_p95_s": safe_percentile(latencies, 95),
         "pool_hit_rate": round(pool_delta.hit_rate, 4),
         "scan_shared": scan["shared"],
         "scan_fetches": scan["fetches"],
@@ -163,8 +163,8 @@ def test_p1_concurrency_scaling(emit, benchmark):
     runs = payload["runs"]
     rows = [
         [r["workers"], r["throughput_qps"],
-         f"{r['latency_p50_s'] * 1e3:.1f}",
-         f"{r['latency_p95_s'] * 1e3:.1f}",
+         fmt_ms(r["latency_p50_s"]),
+         fmt_ms(r["latency_p95_s"]),
          f"{r['pool_hit_rate']:.0%}", r["scan_shared"]]
         for r in runs
     ]

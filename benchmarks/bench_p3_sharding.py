@@ -30,7 +30,7 @@ from repro.query.rangesum import RangeSumQuery
 from repro.storage.device import StorageSpec
 from repro.storage.latency import LatencyModel
 
-from conftest import format_table
+from conftest import fmt_ms, format_table, safe_percentile
 
 JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_sharding.json"
 
@@ -85,9 +85,12 @@ def run_shard_point(shards: int, queries, baseline_answers) -> dict:
         "shards": shards,
         "queries": len(queries),
         "identical_answers": identical,
-        "latency_mean_s": round(float(np.mean(latencies)), 5),
-        "latency_p50_s": round(float(np.percentile(latencies, 50)), 5),
-        "latency_p95_s": round(float(np.percentile(latencies, 95)), 5),
+        "latency_mean_s": (
+            None if not latencies
+            else round(float(np.mean(latencies)), 5)
+        ),
+        "latency_p50_s": safe_percentile(latencies, 50),
+        "latency_p95_s": safe_percentile(latencies, 95),
         "device_reads": int(reads),
         "fetches_by_shard": {
             str(i): int(stack.layer("disk").io.reads)
@@ -148,8 +151,12 @@ def run_benchmark() -> dict:
         "device_latency_s": DEVICE_LATENCY_S,
         "runs": runs,
         "speedup_vs_1_shard": {
-            str(r["shards"]): round(
-                runs[0]["latency_mean_s"] / r["latency_mean_s"], 2
+            str(r["shards"]): (
+                None
+                if not runs[0]["latency_mean_s"] or not r["latency_mean_s"]
+                else round(
+                    runs[0]["latency_mean_s"] / r["latency_mean_s"], 2
+                )
             )
             for r in runs
         },
@@ -164,9 +171,9 @@ def test_p3_sharding_sweep(emit, benchmark):
     runs = payload["runs"]
     outage = payload["outage"]
     rows = [
-        [r["shards"], f"{r['latency_mean_s'] * 1e3:.1f}",
-         f"{r['latency_p50_s'] * 1e3:.1f}",
-         f"{r['latency_p95_s'] * 1e3:.1f}",
+        [r["shards"], fmt_ms(r["latency_mean_s"]),
+         fmt_ms(r["latency_p50_s"]),
+         fmt_ms(r["latency_p95_s"]),
          f"{r['identical_answers']}/{r['queries']}"]
         for r in runs
     ]

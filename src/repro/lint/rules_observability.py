@@ -4,7 +4,8 @@ PR 1 made "every quantitative claim is a registry series" the repo's
 observability contract.  ``obs-coverage`` keeps it true structurally:
 every :class:`BlockDevice` implementation (a class defining both
 ``read_block`` and ``write_block``) in the storage/faults packages, and
-the :class:`QueryService` front end, must touch the obs registry —
+the :class:`QueryService` front end and :class:`BatchEvaluator` batch
+executor, must touch the obs registry —
 ``counter()`` / ``gauge()`` / ``histogram()`` (or their ``obs_*``
 aliases) somewhere in the class body.
 
@@ -36,7 +37,7 @@ OBS_CALL_NAMES = frozenset(
 DEVICE_PACKAGES = ("repro.storage", "repro.faults")
 
 #: Class names always covered, wherever they live.
-ALWAYS_COVERED = frozenset({"QueryService"})
+ALWAYS_COVERED = frozenset({"BatchEvaluator", "QueryService"})
 
 
 def _is_protocol(cls: ast.ClassDef) -> bool:
@@ -75,8 +76,8 @@ class ObsCoverageRule(BaseRule):
     rule_id = "obs-coverage"
     severity = "error"
     description = (
-        "BlockDevice implementations and QueryService report into the "
-        "obs registry (or carry a justified suppression)"
+        "BlockDevice implementations, QueryService and BatchEvaluator "
+        "report into the obs registry (or carry a justified suppression)"
     )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:

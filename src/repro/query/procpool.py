@@ -1,0 +1,247 @@
+"""Process-pool query execution: GIL-free scans over per-worker engines.
+
+The thread-pool front end (:mod:`repro.query.service`) scales by
+overlapping simulated device latency — every sleep releases the GIL —
+but the Python share of each evaluation (translation, planning,
+scatter/gather bookkeeping) still serializes on one interpreter.  This
+module supplies the alternative execution mode the ROADMAP's
+"break the 4x throughput ceiling" item asks for: a pool of worker
+*processes*, each owning a full engine replica, so the numpy kernels
+and the per-shard scans run without sharing a GIL at all.
+
+The replication contract:
+
+* A worker cannot receive the live engine — device stacks hold
+  ``threading.Lock``\\ s (caches, breakers, latency models) that do not
+  pickle.  Instead the parent ships an :class:`EngineBlueprint`: the
+  read-back coefficient cube plus shape/degree/block-size metadata and
+  a *portable* :class:`~repro.storage.device.StorageSpec` encoding.
+  Each worker rebuilds its device stack from that pickled spec via
+  :meth:`~repro.query.propolyne.ProPolyneEngine.from_coefficients`.
+* Coefficients are stored as given (no transform round trip), so every
+  worker's answers are bitwise-identical to the parent engine's.
+* Only pickle-clean specs are portable: ``fault_plan`` /
+  ``retry_policy`` / ``breaker`` carry live locks and seeded mutable
+  state whose replication semantics would be ambiguous (N independent
+  breakers tripping separately is not one breaker tripping).  Process
+  mode therefore serves the clean high-throughput path; chaos drills
+  and degradable queries stay in thread mode.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import QueryError
+from repro.obs import counter as obs_counter
+from repro.query.propolyne import ProPolyneEngine
+from repro.query.rangesum import RangeSumQuery
+from repro.storage.device import StorageSpec
+from repro.storage.latency import LatencyModel
+
+__all__ = [
+    "EngineBlueprint",
+    "ProcessEnginePool",
+    "blueprint_of",
+    "portable_spec_config",
+    "spec_from_config",
+]
+
+
+def portable_spec_config(spec: StorageSpec) -> dict:
+    """Encode a :class:`StorageSpec` as a pickle-clean config dict.
+
+    Raises:
+        QueryError: If the spec carries live resilience/fault objects —
+            their locks and seeded mutable state cannot be shipped to
+            worker processes (see the module docstring's contract).
+    """
+    if (
+        spec.fault_plan is not None
+        or spec.retry_policy is not None
+        or spec.breaker is not None
+    ):
+        raise QueryError(
+            "process-pool mode needs a pickle-clean StorageSpec: "
+            "fault_plan/retry_policy/breaker hold locks and seeded "
+            "state that cannot be replicated into worker processes; "
+            "run fault/chaos workloads in thread mode"
+        )
+    latency = spec.latency
+    return {
+        "shards": spec.shards,
+        "cache_blocks": spec.cache_blocks,
+        "crc": spec.crc,
+        "metered": spec.metered,
+        "fanout_workers": spec.fanout_workers,
+        "latency": (
+            None
+            if latency is None
+            else (
+                latency.base_s,
+                latency.spike_rate,
+                latency.spike_s,
+                latency.seed,
+            )
+        ),
+    }
+
+
+def spec_from_config(config: dict) -> StorageSpec:
+    """Rebuild the :class:`StorageSpec` a worker's device stack uses."""
+    latency = config["latency"]
+    return StorageSpec(
+        shards=config["shards"],
+        cache_blocks=config["cache_blocks"],
+        crc=config["crc"],
+        metered=config["metered"],
+        fanout_workers=config["fanout_workers"],
+        latency=(
+            None
+            if latency is None
+            else LatencyModel(
+                base_s=latency[0],
+                spike_rate=latency[1],
+                spike_s=latency[2],
+                seed=latency[3],
+            )
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class EngineBlueprint:
+    """Everything a worker process needs to rebuild an engine replica.
+
+    Attributes:
+        coefficients: The parent engine's read-back coefficient cube
+            (padded shape) — stored verbatim by the replica, which is
+            what makes worker answers bitwise-identical.
+        original_shape: Pre-padding data-cube shape.
+        max_degree: Highest supported measure-polynomial degree.
+        block_size: Per-axis virtual block size.
+        storage_config: Portable spec encoding
+            (:func:`portable_spec_config`).
+    """
+
+    coefficients: np.ndarray
+    original_shape: tuple[int, ...]
+    max_degree: int
+    block_size: int
+    storage_config: dict
+
+    def build(self) -> ProPolyneEngine:
+        """Construct the engine replica (runs inside the worker)."""
+        return ProPolyneEngine.from_coefficients(
+            self.coefficients,
+            self.original_shape,
+            max_degree=self.max_degree,
+            block_size=self.block_size,
+            storage=spec_from_config(self.storage_config),
+        )
+
+
+def blueprint_of(engine: ProPolyneEngine) -> EngineBlueprint:
+    """Snapshot a live engine into a shippable blueprint.
+
+    Reads the coefficients back through the device stack once (paying
+    its simulated latency), so take the snapshot before serving
+    traffic.  The spec is validated *before* that read, so an
+    unportable spec fails with :class:`~repro.core.errors.QueryError`
+    instead of whatever its fault plan would inject first.
+    """
+    storage_config = portable_spec_config(engine.store.spec)
+    return EngineBlueprint(
+        coefficients=engine.to_coefficients(),
+        original_shape=engine.original_shape,
+        max_degree=engine.max_degree,
+        block_size=engine.block_size,
+        storage_config=storage_config,
+    )
+
+
+# -- worker side (runs in the child processes) ---------------------------
+
+_WORKER_ENGINE: ProPolyneEngine | None = None
+
+
+def _worker_init(blueprint: EngineBlueprint) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = blueprint.build()
+
+
+def _worker_exact(query: RangeSumQuery) -> float:
+    return _WORKER_ENGINE.evaluate_exact(query)
+
+
+def _worker_batch(queries: list[RangeSumQuery]) -> list[float]:
+    from repro.query.batch import BatchEvaluator
+
+    return BatchEvaluator(_WORKER_ENGINE).evaluate_exact(queries)
+
+
+class ProcessEnginePool:
+    """A pool of worker processes, each serving one engine replica.
+
+    Args:
+        blueprint: The engine snapshot every worker rebuilds.
+        workers: Worker-process count (>= 1).
+
+    The pool always uses the ``spawn`` start method: the parent may
+    already be running service threads, and forking a threaded process
+    can freeze a child on a lock some other thread held at fork time.
+    Spawned workers pay an interpreter start + replica build once,
+    amortized over the pool's lifetime; the constructor warms the pool
+    eagerly so a broken blueprint fails fast.
+    """
+
+    def __init__(self, blueprint: EngineBlueprint, workers: int) -> None:
+        if workers < 1:
+            raise QueryError(
+                f"process pool needs >= 1 worker, got {workers}"
+            )
+        self.workers = workers
+        ctx = multiprocessing.get_context("spawn")
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(blueprint,),
+        )
+        # Eager spin-up: every worker process is created (and its
+        # replica-building initializer scheduled) right now; a broken
+        # blueprint surfaces here, not on the first real query.
+        warmups = [
+            self._pool.submit(_worker_ready) for _ in range(workers)
+        ]
+        for future in warmups:
+            future.result()
+        obs_counter("query.procpool.workers").inc(workers)
+
+    def run_exact(self, query: RangeSumQuery) -> float:
+        """Evaluate one exact query on a worker process (blocking)."""
+        obs_counter("query.procpool.queries").inc()
+        return self._pool.submit(_worker_exact, query).result()
+
+    def run_batch(self, queries: list[RangeSumQuery]) -> list[float]:
+        """Evaluate a whole batch on one worker process (blocking)."""
+        obs_counter("query.procpool.batches").inc()
+        return self._pool.submit(_worker_batch, queries).result()
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessEnginePool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _worker_ready() -> bool:
+    return True

@@ -49,8 +49,33 @@ __all__ = [
     "ProPolyneEngine",
     "QueryOutcome",
     "pad_to_pow2",
+    "sparse_inner_product",
     "translate_query",
 ]
+
+
+def sparse_inner_product(entries: dict, stored) -> float:
+    """The one exact reduction kernel: ``sum(q[i] * stored[i])``.
+
+    Every exact answer in the engine — plain, degradable, and the batch
+    evaluator's vectorized path — reduces through this same
+    ``np.dot`` over arrays laid out in ``entries``' iteration order.
+    Float addition is not associative, so funneling all paths through
+    one kernel (same operand order, same BLAS reduction) is what makes
+    their answers *bitwise*-identical rather than merely close.
+
+    Args:
+        entries: Sparse query transform (key -> query coefficient).
+        stored: Mapping from the same keys to stored coefficients.
+    """
+    count = len(entries)
+    if count == 0:
+        return 0.0
+    qvals = np.fromiter(entries.values(), dtype=float, count=count)
+    dvals = np.fromiter(
+        (stored[idx] for idx in entries), dtype=float, count=count
+    )
+    return float(np.dot(qvals, dvals))
 
 
 def translate_query(
@@ -242,22 +267,50 @@ class ProPolyneEngine:
     ) -> None:
         if max_degree < 0:
             raise QueryError(f"max_degree must be >= 0, got {max_degree}")
-        self.original_shape = tuple(np.asarray(cube).shape)
-        self.max_degree = max_degree
-        self.filter = get_filter(f"db{max_degree + 1}")
+        original_shape = tuple(np.asarray(cube).shape)
         padded = pad_to_pow2(cube)
-        self.shape = padded.shape
+        filt = get_filter(f"db{max_degree + 1}")
+        levels = tuple(max_levels(n, filt) for n in padded.shape)
+        if all(depth == 0 for depth in levels):
+            raise QueryError(
+                f"every axis of shape {padded.shape} is too small for "
+                f"filter {filt.name} ({filt.length} taps); "
+                f"nothing would be wavelet-transformed"
+            )
+        coeffs = tensor_wavedec(padded, filt, levels=levels)
+        self._init_from_coefficients(
+            coeffs,
+            original_shape,
+            max_degree,
+            block_size,
+            pool_capacity=pool_capacity,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            breaker=breaker,
+            storage=storage,
+        )
+
+    def _init_from_coefficients(
+        self,
+        coeffs: np.ndarray,
+        original_shape: tuple[int, ...],
+        max_degree: int,
+        block_size: int,
+        pool_capacity: int | None = None,
+        fault_plan=None,
+        retry_policy=None,
+        breaker=None,
+        storage=None,
+    ) -> None:
+        self.original_shape = tuple(original_shape)
+        self.max_degree = max_degree
+        self.block_size = block_size
+        self.filter = get_filter(f"db{max_degree + 1}")
+        self.shape = tuple(coeffs.shape)
         # Axes too small for the cascade stay in the standard basis
         # (cascade depth 0) — the paper's multi-bases rule for
         # low-cardinality dimensions like sensor ids.
         self.levels = tuple(max_levels(n, self.filter) for n in self.shape)
-        if all(depth == 0 for depth in self.levels):
-            raise QueryError(
-                f"every axis of shape {self.shape} is too small for "
-                f"filter {self.filter.name} ({self.filter.length} taps); "
-                f"nothing would be wavelet-transformed"
-            )
-        coeffs = tensor_wavedec(padded, self.filter, levels=self.levels)
         allocation = TensorAllocation(
             axes=tuple(
                 subtree_tiling_allocation(n, block_size) for n in self.shape
@@ -281,6 +334,45 @@ class ProPolyneEngine:
         self._block_sizes = {
             block_id: len(items) for block_id, items in blocks.items()
         }
+
+    @classmethod
+    def from_coefficients(
+        cls,
+        coeffs: np.ndarray,
+        original_shape: tuple[int, ...],
+        max_degree: int = 2,
+        block_size: int = 7,
+        storage=None,
+    ) -> "ProPolyneEngine":
+        """Rebuild an engine from an already-transformed coefficient cube.
+
+        The inverse of :meth:`to_coefficients`: the coefficients are
+        stored *as given* — no inverse/forward transform round trip —
+        so a replica built from another engine's read-back coefficients
+        answers every query bitwise-identically to the original.  This
+        is the contract process-pool workers rely on
+        (:mod:`repro.query.procpool`).
+
+        Args:
+            coeffs: Padded coefficient cube (power-of-two axes, in the
+                layout :meth:`to_coefficients` produces).
+            original_shape: Pre-padding data-cube shape (query-domain
+                bounds checks use it).
+            max_degree: Highest supported measure-polynomial degree.
+            block_size: Per-axis virtual block size for the tiling.
+            storage: Optional :class:`~repro.storage.device.StorageSpec`.
+        """
+        if max_degree < 0:
+            raise QueryError(f"max_degree must be >= 0, got {max_degree}")
+        engine = cls.__new__(cls)
+        engine._init_from_coefficients(
+            np.asarray(coeffs, dtype=float),
+            original_shape,
+            max_degree,
+            block_size,
+            storage=storage,
+        )
+        return engine
 
     # -- query translation -------------------------------------------------
 
@@ -313,9 +405,7 @@ class ProPolyneEngine:
             # store.fetch observes query.blocks_per_query — it already
             # knows the block set, so the engine need not recompute it.
             stored = self.store.fetch(list(entries))
-            return float(
-                sum(qval * stored[idx] for idx, qval in entries.items())
-            )
+            return sparse_inner_product(entries, stored)
 
     def _progressive_steps(
         self, entries: dict, importance: str = "l2",
@@ -553,10 +643,9 @@ class ProPolyneEngine:
         if reason is None and skipped:
             reason = "storage_unavailable"
         if reason is None:
-            # Same term order as evaluate_exact: bitwise-identical value.
-            value = float(
-                sum(qval * stored[idx] for idx, qval in entries.items())
-            )
+            # Same reduction kernel and term order as evaluate_exact:
+            # bitwise-identical value.
+            value = sparse_inner_product(entries, stored)
             return QueryOutcome(
                 value, False, 0.0, 0.0,
                 last.blocks_read if last is not None else 0, None,

@@ -44,6 +44,7 @@ from repro.obs import DEFAULT_COUNT_BUCKETS, DEFAULT_LATENCY_BUCKETS
 from repro.obs import counter as obs_counter
 from repro.obs import gauge as obs_gauge
 from repro.obs import histogram as obs_histogram
+from repro.query.batch import BatchEvaluator
 from repro.query.propolyne import (
     ProgressiveEstimate,
     ProPolyneEngine,
@@ -144,6 +145,63 @@ class ScanCoordinator:
         obs_counter("query.service.scan.fetches").inc()
         return flight.result
 
+    def fetch_blocks(self, block_ids: list) -> dict:
+        """Bulk fetch with coalescing *and* in-flight deduplication.
+
+        Blocks nobody is currently reading are led as **one** bulk
+        store read (``fetch_blocks`` → a single ``read_many``, split
+        per shard group by the device); blocks another query is already
+        fetching are awaited and shared instead of re-read.  This is
+        the batch evaluator's I/O path under a live service: a batch
+        coalesces its own reads while still piggy-backing on concurrent
+        queries' flights.
+        """
+        ids = list(dict.fromkeys(block_ids))
+        fresh: list[tuple[Hashable, tuple[int, Hashable], _Flight]] = []
+        waits: list[tuple[Hashable, _Flight]] = []
+        with self._lock:
+            for block_id in ids:
+                key = (self._shard_of(block_id), block_id)
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = self._inflight[key] = _Flight()
+                    fresh.append((block_id, key, flight))
+                else:
+                    waits.append((block_id, flight))
+        out: dict = {}
+        if fresh:
+            try:
+                payloads = self._store.fetch_blocks(
+                    [block_id for block_id, _, _ in fresh]
+                )
+                for block_id, _, flight in fresh:
+                    flight.result = payloads[block_id]
+                out.update(payloads)
+            except BaseException as exc:
+                for _, _, flight in fresh:
+                    flight.error = exc
+                raise
+            finally:
+                with self._lock:
+                    for block_id, key, flight in fresh:
+                        self._inflight.pop(key, None)
+                        self.fetches += 1
+                        self.fetches_by_shard[key[0]] = (
+                            self.fetches_by_shard.get(key[0], 0) + 1
+                        )
+                for _, _, flight in fresh:
+                    flight.event.set()
+            obs_counter("query.service.scan.fetches").inc(len(fresh))
+        for block_id, flight in waits:
+            flight.event.wait()
+            with self._lock:
+                self.shared += 1
+            obs_counter("query.service.scan.shared").inc()
+            if flight.error is not None:
+                raise flight.error
+            out[block_id] = dict(flight.result)
+        return out
+
     def stats(self) -> dict:
         """Snapshot: issued fetches (total and per shard) and
         piggy-backed (saved) reads."""
@@ -175,6 +233,10 @@ class SharedScanStore:
     def fetch_block(self, block_id: Hashable) -> dict:
         """Single-flighted block fetch."""
         return self.coordinator.fetch_block(block_id)
+
+    def fetch_blocks(self, block_ids: list) -> dict:
+        """Coalesced, single-flighted bulk fetch (the batch I/O path)."""
+        return self.coordinator.fetch_blocks(block_ids)
 
     def fetch(self, indices) -> dict:
         """Fetch the requested coefficients block-wise (single-flighted).
@@ -294,12 +356,21 @@ class QueryService:
         default_deadline_s: Deadline applied to
             :meth:`submit_degradable` tasks that do not carry their
             own; ``None`` means no deadline.
+        execution_mode: ``"thread"`` (default) evaluates on the worker
+            threads; ``"process"`` routes exact and batch work to a
+            :class:`~repro.query.procpool.ProcessEnginePool` of
+            ``workers`` engine replicas, so numpy kernels and per-shard
+            scans run GIL-free.  Requires a pickle-clean
+            :class:`~repro.storage.device.StorageSpec` (no fault plan /
+            retries / breaker); progressive and degradable queries stay
+            on the threads either way.
 
     Metrics: ``query.service.submitted`` / ``completed`` / ``rejected``
     / ``degraded`` counters, a ``query.service.queue_depth`` gauge, the
     ``query.service.latency.seconds`` histogram (per-query wall time,
-    admission to completion), and ``query.service.scan.fetches`` /
-    ``scan.shared`` from the coordinator.
+    admission to completion), ``query.service.batch.submitted`` for
+    batch tasks, and ``query.service.scan.fetches`` / ``scan.shared``
+    from the coordinator.
     """
 
     def __init__(
@@ -309,6 +380,7 @@ class QueryService:
         queue_depth: int = 64,
         share_scans: bool = True,
         default_deadline_s: float | None = None,
+        execution_mode: str = "thread",
     ) -> None:
         if workers < 1:
             raise QueryError(f"worker count must be >= 1, got {workers}")
@@ -316,10 +388,24 @@ class QueryService:
             raise QueryError(
                 f"admission queue depth must be >= 1, got {queue_depth}"
             )
+        if execution_mode not in ("thread", "process"):
+            raise QueryError(
+                f"unknown execution mode {execution_mode!r}; "
+                f"use 'thread' or 'process'"
+            )
         self.engine = shared_scan_view(engine) if share_scans else engine
         self.coordinator = (
             self.engine.store.coordinator if share_scans else None
         )
+        self.execution_mode = execution_mode
+        self._proc_pool = None
+        if execution_mode == "process":
+            # Before the worker threads exist: a bad blueprint (e.g. a
+            # spec with live fault/resilience objects) fails fast here.
+            from repro.query.procpool import ProcessEnginePool, blueprint_of
+
+            self._proc_pool = ProcessEnginePool(blueprint_of(engine), workers)
+        self._batcher = BatchEvaluator(self.engine)
         if default_deadline_s is not None and default_deadline_s < 0:
             raise QueryError(
                 f"default deadline must be >= 0, got {default_deadline_s}"
@@ -414,6 +500,29 @@ class QueryService:
         self._admit(task, block)
         return stream
 
+    def submit_batch(
+        self, queries: list[RangeSumQuery], block: bool = False
+    ) -> Future:
+        """Enqueue a whole batch as one task; the future resolves to the
+        list of exact answers (batch order).
+
+        The batch occupies a single worker slot: in thread mode it runs
+        through the shared :class:`~repro.query.batch.BatchEvaluator`
+        (one coalesced fetch per batch, vectorized segment dots); in
+        process mode the whole batch ships to one worker process.
+        Either way each answer is bitwise-identical to
+        :meth:`submit_exact` on the same query.
+
+        Args:
+            queries: Non-empty list of range-sums to evaluate together.
+            block: When True, wait for queue space instead of raising
+                :class:`QueryRejected` on overload.
+        """
+        task = _Task("batch", list(queries), "l2", Future(), None)
+        self._admit(task, block)
+        obs_counter("query.service.batch.submitted").inc()
+        return task.future
+
     def run_exact(self, queries: list[RangeSumQuery]) -> list[float]:
         """Convenience: submit every query (waiting for queue space) and
         return their answers in order."""
@@ -450,9 +559,19 @@ class QueryService:
             started = time.perf_counter()
             try:
                 if task.kind == "exact":
-                    task.future.set_result(
-                        self.engine.evaluate_exact(task.query)
-                    )
+                    # Process mode ships the query to an engine replica;
+                    # the worker thread just blocks on the round trip.
+                    if self._proc_pool is not None:
+                        value = self._proc_pool.run_exact(task.query)
+                    else:
+                        value = self.engine.evaluate_exact(task.query)
+                    task.future.set_result(value)
+                elif task.kind == "batch":
+                    if self._proc_pool is not None:
+                        answers = self._proc_pool.run_batch(task.query)
+                    else:
+                        answers = self._batcher.evaluate_exact(task.query)
+                    task.future.set_result(answers)
                 elif task.kind == "degradable":
                     outcome: QueryOutcome = self.engine.evaluate_degradable(
                         task.query,
@@ -501,6 +620,8 @@ class QueryService:
         if wait:
             for thread in self._threads:
                 thread.join()
+        if self._proc_pool is not None:
+            self._proc_pool.close()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -113,6 +113,34 @@ class _StoreBase:
         """Leaf I/O performed since ``before`` was snapshotted."""
         return self.device.io_totals().delta(before)
 
+    def fetch_blocks(self, block_ids: list) -> dict:
+        """Bulk block fetch: one coalesced device read for many blocks.
+
+        The batch evaluator's I/O entry point — the whole batch's block
+        set goes down as a single ``read_many``, which the sharded
+        device splits into one read per shard group
+        (:func:`~repro.storage.scheduler.coalesce_by_shard`) on its
+        persistent fan-out pool.
+
+        Args:
+            block_ids: Blocks to read (deduplicated by the caller).
+
+        Returns:
+            Mapping from block id to block payload.
+        """
+        with span("storage.fetch_blocks"):
+            ids = list(block_ids)
+            obs_histogram(
+                "storage.blocks_per_batch", DEFAULT_COUNT_BUCKETS
+            ).observe(len(ids))
+            if not ids:
+                return {}
+            return self.device.read_many(ids)
+
+    def close(self) -> None:
+        """Release storage resources (fan-out pools); idempotent."""
+        self._built.close()
+
 
 class WaveletBlockStore(_StoreBase):
     """1-D wavelet coefficients on a device stack, under an allocation."""

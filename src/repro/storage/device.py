@@ -695,6 +695,11 @@ class BuiltStorage:
         for stack in self.stacks:
             stack.set_injecting(flag)
 
+    def close(self) -> None:
+        """Release held resources (the sharded fan-out pool); idempotent."""
+        if self.sharded is not None:
+            self.sharded.close()
+
 
 @dataclass(frozen=True)
 class StorageSpec:

@@ -16,14 +16,21 @@ guaranteed Cauchy–Schwarz error bar.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Hashable, Iterable
 
 import numpy as np
 
 from repro.core.errors import StorageError
 
-__all__ = ["BlockPlan", "plan_blocks"]
+__all__ = [
+    "BatchBlockPlan",
+    "BlockPlan",
+    "coalesce_by_shard",
+    "plan_batch_blocks",
+    "plan_blocks",
+]
 
 
 @dataclass(frozen=True)
@@ -83,3 +90,93 @@ def plan_blocks(
         )
     plans.sort(key=lambda p: -p.importance)
     return plans
+
+
+@dataclass(frozen=True)
+class BatchBlockPlan:
+    """One block's share of a whole query batch.
+
+    Attributes:
+        block_id: The block to read (once, for every query that needs it).
+        triples: ``(query_index, coefficient_key, query_value)`` for every
+            batch coefficient living on this block.
+        importance: Combined L2 query energy on the block, optionally
+            weighted by the stored data norm — the error-bound mass the
+            whole batch recovers by fetching it.
+    """
+
+    block_id: Hashable
+    triples: tuple
+    importance: float
+
+
+def plan_batch_blocks(
+    per_query_entries: list[dict],
+    block_of,
+    data_norms: dict | None = None,
+) -> list[BatchBlockPlan]:
+    """Merge several queries' sparse transforms into one block schedule.
+
+    The batch analogue of :func:`plan_blocks`: coefficients from *all*
+    queries are grouped by owning block, so each block appears exactly
+    once however many queries touch it, ordered by decreasing combined
+    importance (``sqrt(sum q^2) * ||data_block||`` when ``data_norms``
+    is given, plain combined query energy otherwise).
+
+    Args:
+        per_query_entries: One sparse transform per query.
+        block_of: Callable mapping a coefficient key to its block id.
+        data_norms: Optional per-block stored-data L2 norms.
+
+    Returns:
+        Plans sorted by decreasing combined importance.
+    """
+    grouped: dict[Hashable, list] = {}
+    # Overlapping batches resolve the same coefficient keys many times
+    # over; memoizing block_of turns the dominant per-entry call into a
+    # dict hit.
+    block_cache: dict = {}
+    for qi, entries in enumerate(per_query_entries):
+        for key, value in entries.items():
+            block_id = block_cache.get(key)
+            if block_id is None:
+                block_id = block_cache[key] = block_of(key)
+            grouped.setdefault(block_id, []).append((qi, key, value))
+    plans = []
+    for block_id, triples in grouped.items():
+        energy = math.sqrt(sum(v * v for _, _, v in triples))
+        weight = (
+            data_norms.get(block_id, 0.0) if data_norms is not None else 1.0
+        )
+        plans.append(
+            BatchBlockPlan(
+                block_id=block_id,
+                triples=tuple(triples),
+                importance=energy * weight,
+            )
+        )
+    plans.sort(key=lambda p: -p.importance)
+    return plans
+
+
+def coalesce_by_shard(
+    block_ids: Iterable[Hashable], shard_of
+) -> list[tuple[int, list]]:
+    """Group block reads by owning shard, preserving order within a group.
+
+    The batch I/O coalescer: a batch's block set collapses into one
+    ``read_many`` per shard group instead of per-query fetch streams —
+    the sharded device then overlaps the groups' simulated latency on
+    its fan-out pool.
+
+    Args:
+        block_ids: Blocks to read, best-first.
+        shard_of: Callable mapping a block id to its shard index.
+
+    Returns:
+        ``(shard, block_ids)`` pairs in first-touched order.
+    """
+    groups: dict[int, list] = {}
+    for block_id in block_ids:
+        groups.setdefault(shard_of(block_id), []).append(block_id)
+    return list(groups.items())

@@ -28,7 +28,9 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Hashable, Iterable
 
 from repro.core.errors import StorageError
+from repro.lint.lockwatch import watched_lock
 from repro.storage.disk import IOStats
+from repro.storage.scheduler import coalesce_by_shard
 
 __all__ = ["ShardedDevice", "place"]
 
@@ -74,6 +76,12 @@ class ShardedDevice:  # lint: ignore[obs-coverage] — pure fan-out; StorageSpec
             if fanout_workers is not None
             else min(self.n_shards, 8)
         )
+        # Persistent fan-out pool, created on the first concurrent
+        # read_many and reused for the device's lifetime — the previous
+        # per-call transient pool paid thread startup/teardown on the
+        # hottest I/O path.
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = watched_lock("storage.shard_fanout")
 
     @property
     def block_size(self) -> int:
@@ -95,43 +103,71 @@ class ShardedDevice:  # lint: ignore[obs-coverage] — pure fan-out; StorageSpec
         """Shared (no-copy) fetch from the owning shard."""
         return self._device_for(block_id).read_block_shared(block_id)
 
+    def _fanout_pool(self) -> ThreadPoolExecutor:
+        """The persistent fan-out pool (created on first concurrent use)."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.fanout_workers,
+                    thread_name_prefix="shard-read",
+                )
+            return self._pool
+
     def read_many(self, block_ids: Iterable[Hashable]) -> dict:
         """Fetch several blocks, fanning out across the shards touched.
 
-        Blocks are grouped by owning shard; when more than one shard
-        (and more than one worker) is involved, each shard group runs
-        on a transient worker pool so per-device latency overlaps.  A
-        failing shard group propagates its exception after every group
-        has settled — surviving shards' work is never discarded
-        mid-flight.
+        Blocks are coalesced into one ``read_many`` per owning shard
+        (:func:`~repro.storage.scheduler.coalesce_by_shard`); when more
+        than one shard (and more than one worker) is involved, each
+        shard group runs on the device's persistent worker pool so
+        per-device latency overlaps.  Failures propagate only after
+        every group has settled — surviving shards' work is never
+        discarded mid-flight — and when several shard groups fail, the
+        first exception is raised with every further failure attached
+        as a ``__notes__`` entry, so a multi-shard outage is never
+        silently reported as a single-shard one.
         """
-        groups: dict[int, list[Hashable]] = {}
-        for block_id in block_ids:
-            groups.setdefault(self.shard_of(block_id), []).append(block_id)
+        groups = coalesce_by_shard(block_ids, self.shard_of)
         if not groups:
             return {}
         out: dict = {}
         if len(groups) == 1 or self.fanout_workers == 1:
-            for shard, ids in groups.items():
+            for shard, ids in groups:
                 out.update(self.devices[shard].read_many(ids))
             return out
-        with ThreadPoolExecutor(
-            max_workers=min(len(groups), self.fanout_workers),
-            thread_name_prefix="shard-read",
-        ) as pool:
-            futures = [
-                pool.submit(self.devices[shard].read_many, ids)
-                for shard, ids in groups.items()
-            ]
-            error = None
-            for future in futures:
-                try:
-                    out.update(future.result())
-                except Exception as exc:  # noqa: BLE001 - re-raised below
-                    error = error if error is not None else exc
-        if error is not None:
-            raise error
+        pool = self._fanout_pool()
+        futures = [
+            (shard, pool.submit(self.devices[shard].read_many, ids))
+            for shard, ids in groups
+        ]
+        errors: list[tuple[int, Exception]] = []
+        for shard, future in futures:
+            try:
+                out.update(future.result())
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                errors.append((shard, exc))
+        if errors:
+            _, first = errors[0]
+            for shard, exc in errors[1:]:
+                first.add_note(
+                    f"shard {shard} also failed: {type(exc).__name__}: {exc}"
+                )
+            raise first
         return out
+
+    def close(self) -> None:
+        """Shut down the persistent fan-out pool (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __del__(self) -> None:
+        # Best-effort: __init__ may have raised before the pool existed.
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            self._pool = None
+            pool.shutdown(wait=False)
 
     def write_block(self, block_id: Hashable, items) -> None:
         """Store one block on its owning shard."""

@@ -42,9 +42,12 @@ from repro.wavelets.filters import WaveletFilter, get_filter
 __all__ = [
     "SparseWaveletVector",
     "TranslationCache",
+    "batched_dot",
     "cached_range_query_transform",
     "lazy_range_query_transform",
     "poly_after_filter",
+    "segmented_dot",
+    "stack_sparse_queries",
     "translation_cache",
 ]
 
@@ -261,6 +264,84 @@ class SparseWaveletVector:
     def norm(self) -> float:
         """L2 norm of the sparse vector."""
         return math.sqrt(sum(v * v for v in self.entries.values()))
+
+
+def stack_sparse_queries(
+    sparse_entries: list[dict],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate sparse query vectors into one index/value matrix.
+
+    The batch extension of :meth:`SparseWaveletVector.dot`: the sparse
+    vectors are stacked CSR-style — ``indices``/``values`` hold every
+    vector's entries back to back (each vector keeping its own entry
+    order), and ``offsets[i]:offsets[i+1]`` delimits vector ``i``'s
+    segment.  One ``np.take`` over ``indices`` then gathers the data for
+    the *whole batch*, and each row's answer is a dot over its segment.
+
+    Args:
+        sparse_entries: One ``{flat_index: value}`` mapping per query
+            vector (empty mappings allowed — they occupy zero-width
+            segments and answer ``0.0``).
+
+    Returns:
+        ``(indices, values, offsets)`` with ``len(offsets) ==
+        len(sparse_entries) + 1``.
+    """
+    counts = [len(entries) for entries in sparse_entries]
+    offsets = np.zeros(len(counts) + 1, dtype=np.intp)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    indices = np.empty(total, dtype=np.intp)
+    values = np.empty(total, dtype=float)
+    for i, entries in enumerate(sparse_entries):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        indices[lo:hi] = np.fromiter(
+            entries.keys(), dtype=np.intp, count=hi - lo
+        )
+        values[lo:hi] = np.fromiter(
+            entries.values(), dtype=float, count=hi - lo
+        )
+    return indices, values, offsets
+
+
+def batched_dot(
+    sparse_entries: list[dict], flat_data: np.ndarray
+) -> np.ndarray:
+    """Inner products of several sparse vectors against one dense vector.
+
+    Performs a *single* gather for the whole batch, then reduces each
+    vector's segment with the same ``np.dot`` the scalar
+    :meth:`SparseWaveletVector.dot` uses — segments are contiguous and
+    unpadded, so every answer is bitwise-identical to evaluating that
+    vector alone (zero-padding rows to a rectangular matrix would
+    change each dot's reduction tree and break bitwise equality).
+    """
+    indices, values, offsets = stack_sparse_queries(sparse_entries)
+    return segmented_dot(indices, values, offsets, flat_data)
+
+
+def segmented_dot(
+    indices: np.ndarray,
+    values: np.ndarray,
+    offsets: np.ndarray,
+    flat_data: np.ndarray,
+) -> np.ndarray:
+    """Segment-wise sparse inner products after one shared gather.
+
+    The low-level kernel under :func:`batched_dot` (and the tensor-domain
+    batch evaluator): ``np.take`` gathers every segment's data positions
+    at once, then segment ``i`` reduces with ``np.dot`` over its
+    contiguous, unpadded slice — the same reduction a lone
+    :meth:`SparseWaveletVector.dot` performs, hence bitwise-equal
+    per-query answers.
+    """
+    flat_data = np.asarray(flat_data, dtype=float)
+    gathered = np.take(flat_data, indices)
+    out = np.empty(len(offsets) - 1)
+    for i in range(len(offsets) - 1):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        out[i] = np.dot(values[lo:hi], gathered[lo:hi])
+    return out
 
 
 def lazy_range_query_transform(

@@ -39,17 +39,33 @@ class WaveletSynopsis:
     entries: dict[int, float]
     dropped_energy: float
 
+    def __post_init__(self) -> None:
+        # ``entries`` is treated as immutable after construction; both
+        # caches below depend on it.  Strides are the row-major ravel
+        # multipliers for ``shape``; the dense flat vector is built
+        # lazily on the first dot_sparse call.
+        self._strides = np.array(
+            [int(np.prod(self.shape[k + 1:])) for k in range(len(self.shape))],
+            dtype=np.intp,
+        )
+        self._flat: np.ndarray | None = None
+
     @property
     def size(self) -> int:
         """Number of retained coefficients."""
         return len(self.entries)
 
+    def _flat_coefficients(self) -> np.ndarray:
+        if self._flat is None:
+            flat = np.zeros(int(np.prod(self.shape)))
+            for idx, val in self.entries.items():
+                flat[idx] = val
+            self._flat = flat
+        return self._flat
+
     def coefficient_array(self) -> np.ndarray:
         """Dense coefficient cube with dropped entries zeroed."""
-        flat = np.zeros(int(np.prod(self.shape)))
-        for idx, val in self.entries.items():
-            flat[idx] = val
-        return flat.reshape(self.shape)
+        return self._flat_coefficients().reshape(self.shape).copy()
 
     def reconstruct(self) -> np.ndarray:
         """Approximate data cube implied by the synopsis."""
@@ -60,15 +76,22 @@ class WaveletSynopsis:
 
         Only coefficients retained in the synopsis contribute — this is how
         the data-approximation baseline answers ProPolyne-style queries.
+        Vectorized: one ravel of the query's multi-indices against the
+        cached strides, one gather from the cached dense coefficient
+        vector (dropped entries read as 0.0), one ``np.dot``.
         """
-        strides = np.array(
-            [int(np.prod(self.shape[k + 1 :])) for k in range(len(self.shape))]
-        )
-        total = 0.0
-        for multi_idx, qval in query_entries.items():
-            flat_idx = int(np.dot(multi_idx, strides))
-            total += qval * self.entries.get(flat_idx, 0.0)
-        return total
+        count = len(query_entries)
+        if count == 0:
+            return 0.0
+        keys = np.fromiter(
+            (k for multi_idx in query_entries for k in multi_idx),
+            dtype=np.intp,
+            count=count * len(self.shape),
+        ).reshape(count, len(self.shape))
+        flat_idx = keys @ self._strides
+        qvals = np.fromiter(query_entries.values(), dtype=float, count=count)
+        gathered = np.take(self._flat_coefficients(), flat_idx)
+        return float(np.dot(qvals, gathered))
 
 
 def build_synopsis(

@@ -407,6 +407,27 @@ class TestObservabilityRule:
             source, "src/repro/query/service.py", "obs-coverage"
         )) == ["obs-coverage"]
 
+    def test_batch_evaluator_must_touch_the_registry(self):
+        source = """
+        class BatchEvaluator:
+            def evaluate_exact(self, queries):
+                return [self._engine.evaluate_exact(q) for q in queries]
+        """
+        assert ids(findings_for(
+            source, "src/repro/query/batch.py", "obs-coverage"
+        )) == ["obs-coverage"]
+
+    def test_batch_evaluator_reporting_metrics_clean(self):
+        source = """
+        class BatchEvaluator:
+            def evaluate_exact(self, queries):
+                obs_counter("query.batch.batches").inc()
+                return [self._engine.evaluate_exact(q) for q in queries]
+        """
+        assert findings_for(
+            source, "src/repro/query/batch.py", "obs-coverage"
+        ) == []
+
 
 class TestRepoIsClean:
     def test_lint_repo_has_no_findings(self):

@@ -1,0 +1,329 @@
+"""Batch-path equivalence: the vectorized, coalesced batch executor.
+
+The acceptance bar for PR 6's batch path is *bitwise* identity, not
+approximate agreement: the CSR stack + single gather + per-segment
+``np.dot`` must reduce each query in exactly the order the engine's
+scalar kernel (:func:`repro.query.propolyne.sparse_inner_product`) does,
+whatever the batch shape — group-by cells, drill-downs, overlapping
+ranges, a single query — and whatever storage sits underneath (plain,
+sharded, fault-injected).  Degraded batches must carry per-query
+guaranteed error bounds.
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError, StorageError
+from repro.faults import CircuitBreaker, FaultPlan, RetryPolicy
+from repro.query.batch import BatchEvaluator, group_by
+from repro.query.propolyne import ProPolyneEngine
+from repro.query.rangesum import RangeSumQuery
+from repro.query.service import (
+    QueryService,
+    ScanCoordinator,
+    _Flight,
+    shared_scan_view,
+)
+from repro.storage.device import StorageSpec
+
+
+@pytest.fixture(scope="module")
+def cube():
+    rng = np.random.default_rng(2003)
+    return rng.poisson(3.0, (32, 32)).astype(float)
+
+
+@pytest.fixture(scope="module")
+def engine(cube):
+    return ProPolyneEngine(cube, max_degree=1, block_size=7)
+
+
+OVERLAPPING = [
+    RangeSumQuery.count([(0, 15), (0, 15)]),
+    RangeSumQuery.count([(4, 19), (4, 19)]),
+    RangeSumQuery.count([(8, 23), (8, 23)]),
+    RangeSumQuery.count([(8, 23), (4, 19)]),
+]
+
+DRILL_DOWN = [
+    RangeSumQuery.count([(0, 31), (0, 31)]),
+    RangeSumQuery.count([(0, 15), (0, 31)]),
+    RangeSumQuery.count([(0, 7), (0, 31)]),
+    RangeSumQuery.count([(0, 7), (0, 15)]),
+]
+
+
+class TestBitwiseEquivalence:
+    def test_overlapping_batch_bitwise_equal_to_sequential(self, engine):
+        values = BatchEvaluator(engine).evaluate_exact(OVERLAPPING)
+        for value, query in zip(values, OVERLAPPING):
+            assert value == engine.evaluate_exact(query)  # bitwise
+
+    def test_drill_down_batch_bitwise_equal_to_sequential(self, engine):
+        values = BatchEvaluator(engine).evaluate_exact(DRILL_DOWN)
+        for value, query in zip(values, DRILL_DOWN):
+            assert value == engine.evaluate_exact(query)
+
+    def test_weighted_queries_bitwise_equal(self, engine):
+        queries = [
+            RangeSumQuery.weighted([(3, 29), (4, 30)], {0: 1}),
+            RangeSumQuery.weighted([(5, 20), (5, 20)], {0: 1, 1: 1}),
+            RangeSumQuery.count([(5, 20), (5, 20)]),
+        ]
+        values = BatchEvaluator(engine).evaluate_exact(queries)
+        for value, query in zip(values, queries):
+            assert value == engine.evaluate_exact(query)
+
+    def test_single_query_batch_bitwise_equal(self, engine):
+        query = RangeSumQuery.count([(3, 19), (8, 27)])
+        assert BatchEvaluator(engine).evaluate_exact(
+            [query]
+        )[0] == engine.evaluate_exact(query)
+
+    def test_empty_batch_raises(self, engine):
+        with pytest.raises(QueryError):
+            BatchEvaluator(engine).evaluate_exact([])
+        with pytest.raises(QueryError):
+            BatchEvaluator(engine).evaluate_degradable([])
+
+    def test_group_by_cells_bitwise_equal(self, engine):
+        result = group_by(
+            engine, dim=0, group_width=8, other_ranges={1: (4, 27)}
+        )
+        for (lo, hi), value in result.as_dict().items():
+            cell = RangeSumQuery.count([(lo, hi), (4, 27)])
+            assert value == engine.evaluate_exact(cell)
+
+    def test_sharded_batch_bitwise_equal(self, cube):
+        sharded = ProPolyneEngine(
+            cube, max_degree=1, block_size=7,
+            storage=StorageSpec(shards=4),
+        )
+        values = BatchEvaluator(sharded).evaluate_exact(OVERLAPPING)
+        for value, query in zip(values, OVERLAPPING):
+            assert value == sharded.evaluate_exact(query)
+
+
+class TestCoalescedIO:
+    def test_batch_reads_each_block_exactly_once(self, cube):
+        # Uncached sharded stack: the leaf read counter is the ground
+        # truth for how many blocks the batch actually fetched.
+        eng = ProPolyneEngine(
+            cube, max_degree=1, block_size=7,
+            storage=StorageSpec(shards=4),
+        )
+        evaluator = BatchEvaluator(eng)
+        shared = evaluator.shared_block_count(OVERLAPPING)
+        before = eng.store.io_snapshot()
+        evaluator.evaluate_exact(OVERLAPPING)
+        assert eng.store.io_since(before).reads == shared
+        assert shared < evaluator.independent_block_count(OVERLAPPING)
+
+
+class TestDegradedBatch:
+    def make_stormy(self, cube):
+        return ProPolyneEngine(
+            cube, max_degree=1, block_size=7,
+            storage=StorageSpec(
+                shards=4,
+                fault_plan=FaultPlan(seed=3, read_error_rate=1.0),
+                fault_shards=(1,),
+                retry_policy=RetryPolicy(
+                    max_attempts=2, base_delay_s=0.0, budget_s=0.0
+                ),
+                breaker=CircuitBreaker(
+                    failure_threshold=1, recovery_timeout_s=60.0
+                ),
+            ),
+        )
+
+    def test_fault_injected_shard_degrades_with_per_query_bounds(
+        self, cube, engine
+    ):
+        stormy = self.make_stormy(cube)
+        truths = [engine.evaluate_exact(q) for q in OVERLAPPING]
+        outcomes = BatchEvaluator(stormy).evaluate_degradable(OVERLAPPING)
+        assert len(outcomes) == len(OVERLAPPING)
+        assert any(o.degraded for o in outcomes)
+        for outcome, truth in zip(outcomes, truths):
+            if outcome.degraded:
+                assert outcome.reason == "storage_unavailable"
+                assert outcome.blocks_skipped > 0
+                assert math.isfinite(outcome.error_bound)
+                assert outcome.error_bound > 0.0
+                assert 0.0 <= outcome.error_estimate <= outcome.error_bound
+                # The guaranteed bound really contains the truth.
+                assert abs(outcome.value - truth) <= (
+                    outcome.error_bound + 1e-9
+                )
+            else:
+                assert outcome.value == truth  # bitwise
+
+    def test_no_fault_degradable_batch_is_bitwise_exact(self, engine):
+        outcomes = BatchEvaluator(engine).evaluate_degradable(OVERLAPPING)
+        for outcome, query in zip(outcomes, OVERLAPPING):
+            assert outcome.degraded is False
+            assert outcome.error_bound == 0.0
+            assert outcome.value == engine.evaluate_exact(query)
+
+
+class TestServiceBatch:
+    def test_submit_batch_thread_mode_bitwise_equal(self, engine):
+        expected = [engine.evaluate_exact(q) for q in OVERLAPPING]
+        with QueryService(engine, workers=2) as service:
+            answers = service.submit_batch(OVERLAPPING, block=True).result()
+        assert answers == expected
+
+    def test_batch_and_exact_tasks_interleave(self, engine):
+        single = RangeSumQuery.count([(3, 19), (8, 27)])
+        with QueryService(engine, workers=2, queue_depth=8) as service:
+            batch_future = service.submit_batch(DRILL_DOWN, block=True)
+            exact_future = service.submit_exact(single, block=True)
+            assert batch_future.result() == [
+                engine.evaluate_exact(q) for q in DRILL_DOWN
+            ]
+            assert exact_future.result() == engine.evaluate_exact(single)
+
+    def test_unknown_execution_mode_rejected(self, engine):
+        with pytest.raises(QueryError):
+            QueryService(engine, execution_mode="fiber")
+
+
+class TestScanCoordinatorBulkFetch:
+    def test_bulk_fetch_dedups_ids_within_one_call(self, engine):
+        view = shared_scan_view(engine)
+        coordinator = view.store.coordinator
+        blocks = list(engine.store.device.block_ids())[:3]
+        out = coordinator.fetch_blocks(blocks + blocks)
+        assert set(out) == set(blocks)
+        assert coordinator.fetches == len(blocks)
+        assert sum(coordinator.fetches_by_shard.values()) == len(blocks)
+
+    def test_bulk_fetch_joins_an_inflight_read(self, engine):
+        view = shared_scan_view(engine)
+        coordinator = view.store.coordinator
+        blocks = list(engine.store.device.block_ids())[:2]
+        target = blocks[0]
+        key = (coordinator._shard_of(target), target)
+        flight = _Flight()
+        flight.result = {"sentinel": 42.0}
+        flight.event.set()
+        coordinator._inflight[key] = flight
+        try:
+            out = coordinator.fetch_blocks(blocks)
+        finally:
+            coordinator._inflight.pop(key, None)
+        # The in-flight block was shared, not re-read; the other block
+        # was fetched from the store.
+        assert out[target] == {"sentinel": 42.0}
+        assert coordinator.shared == 1
+        assert coordinator.fetches == len(blocks) - 1
+
+    def test_concurrent_batches_share_flights_consistently(self, cube):
+        eng = ProPolyneEngine(
+            cube, max_degree=1, block_size=7,
+            storage=StorageSpec(shards=2),
+        )
+        view = shared_scan_view(eng)
+        coordinator = view.store.coordinator
+        blocks = list(eng.store.device.block_ids())
+        expected = {b: eng.store.fetch_block(b) for b in blocks}
+        results, errors = [], []
+        barrier = threading.Barrier(3)
+
+        def fetch_all():
+            barrier.wait()
+            try:
+                results.append(coordinator.fetch_blocks(blocks))
+            except StorageError as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fetch_all) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(results) == 3
+        for out in results:
+            assert out == expected
+
+
+class TestProcessMode:
+    """Spawned engine replicas must answer bitwise-identically.
+
+    One worker and a small cube keep the spawn cost down; the scaling
+    claim itself lives in ``benchmarks/bench_p5_batch.py``.
+    """
+
+    @pytest.fixture(scope="class")
+    def small_engine(self):
+        rng = np.random.default_rng(7)
+        cube = rng.poisson(2.0, (16, 16)).astype(float)
+        return ProPolyneEngine(
+            cube, max_degree=1, block_size=7,
+            storage=StorageSpec(shards=2),
+        )
+
+    def test_blueprint_replica_is_bitwise_identical(self, small_engine):
+        from repro.query.procpool import blueprint_of
+
+        replica = blueprint_of(small_engine).build()
+        queries = [
+            RangeSumQuery.count([(0, 9), (2, 13)]),
+            RangeSumQuery.weighted([(3, 12), (0, 15)], {0: 1}),
+        ]
+        for query in queries:
+            assert replica.evaluate_exact(
+                query
+            ) == small_engine.evaluate_exact(query)
+
+    def test_process_service_bitwise_equal(self, small_engine):
+        queries = [
+            RangeSumQuery.count([(0, 9), (2, 13)]),
+            RangeSumQuery.count([(4, 11), (4, 11)]),
+        ]
+        expected = [small_engine.evaluate_exact(q) for q in queries]
+        with QueryService(
+            small_engine, workers=1, execution_mode="process"
+        ) as service:
+            exact = [
+                service.submit_exact(q, block=True).result()
+                for q in queries
+            ]
+            batch = service.submit_batch(queries, block=True).result()
+        assert exact == expected
+        assert batch == expected
+
+    def test_process_mode_rejects_faulty_spec(self):
+        rng = np.random.default_rng(7)
+        cube = rng.poisson(2.0, (16, 16)).astype(float)
+        stormy = ProPolyneEngine(
+            cube, max_degree=1, block_size=7,
+            storage=StorageSpec(
+                shards=2,
+                fault_plan=FaultPlan(seed=1, read_error_rate=0.5),
+                retry_policy=RetryPolicy(
+                    max_attempts=2, base_delay_s=0.0, budget_s=0.0
+                ),
+                breaker=CircuitBreaker(
+                    failure_threshold=1, recovery_timeout_s=60.0
+                ),
+            ),
+        )
+        with pytest.raises(QueryError):
+            QueryService(stormy, workers=1, execution_mode="process")
+
+    def test_spec_config_round_trip(self, small_engine):
+        from repro.query.procpool import (
+            portable_spec_config,
+            spec_from_config,
+        )
+
+        config = portable_spec_config(small_engine.store.spec)
+        rebuilt = spec_from_config(config)
+        assert rebuilt.shards == small_engine.store.spec.shards
+        assert rebuilt.cache_blocks == small_engine.store.spec.cache_blocks

@@ -113,6 +113,100 @@ class TestShardedDevice:
             build_sharded(2, fanout_workers=0)
 
 
+class _OkShard:
+    """Minimal read-only shard double."""
+
+    block_size = 8
+
+    def read_many(self, ids):
+        return {b: {b: 1.0} for b in ids}
+
+
+class _FailingShard:
+    block_size = 8
+
+    def __init__(self, label):
+        self.label = label
+
+    def read_many(self, ids):
+        raise StorageError(f"{self.label} is down")
+
+
+class TestFanoutPoolLifecycle:
+    def test_pool_persists_across_read_many_calls(self):
+        # Regression: read_many used to build (and tear down) a fresh
+        # ThreadPoolExecutor on every call — the hottest I/O path paid
+        # thread startup each time.  The pool must now be created once
+        # and reused.
+        dev = build_sharded(4)
+        for b in range(16):
+            dev.write_block(b, {b: 0.0})
+        dev.read_many(list(range(16)))
+        pool = dev._pool
+        assert pool is not None
+        dev.read_many(list(range(16)))
+        assert dev._pool is pool
+
+    def test_close_shuts_the_pool_down_idempotently(self):
+        dev = build_sharded(4)
+        for b in range(8):
+            dev.write_block(b, {b: 0.0})
+        dev.read_many(list(range(8)))
+        dev.close()
+        assert dev._pool is None
+        dev.close()  # second close is a no-op
+        # The device still works afterwards; the pool is rebuilt lazily.
+        assert dev.read_many(list(range(8))) == {
+            b: {b: 0.0} for b in range(8)
+        }
+
+
+class TestMultiShardFailureAggregation:
+    def test_second_failed_shard_lands_in_notes(self):
+        # Regression: read_many used to surface only the first failed
+        # shard group, silently reporting a multi-shard outage as a
+        # single-shard one.  Placement (pinned above): block 0 -> shard
+        # 1, block 1 -> shard 3, block 42 -> shard 0.
+        dev = ShardedDevice(
+            [_OkShard(), _FailingShard("shard-one"),
+             _OkShard(), _FailingShard("shard-three")]
+        )
+        with pytest.raises(StorageError) as excinfo:
+            dev.read_many([0, 1, 42])
+        assert "shard-one is down" in str(excinfo.value)
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any(
+            "shard 3" in note and "shard-three is down" in note
+            for note in notes
+        )
+
+    def test_single_failed_shard_has_no_notes(self):
+        dev = ShardedDevice(
+            [_OkShard(), _FailingShard("shard-one"), _OkShard(), _OkShard()]
+        )
+        with pytest.raises(StorageError) as excinfo:
+            dev.read_many([0, 1, 42])
+        assert getattr(excinfo.value, "__notes__", []) == []
+
+    def test_surviving_shards_are_not_interrupted(self):
+        # The failure is raised only after every group settles: the OK
+        # shards' reads complete (observable via a recording double).
+        calls = []
+
+        class _Recording(_OkShard):
+            def read_many(self, ids):
+                calls.append(list(ids))
+                return super().read_many(ids)
+
+        dev = ShardedDevice(
+            [_Recording(), _FailingShard("shard-one"),
+             _Recording(), _Recording()]
+        )
+        with pytest.raises(StorageError):
+            dev.read_many([0, 1, 42])
+        assert [42] in calls  # shard 0's group ran to completion
+
+
 class TestShardedQueriesAreBitwiseEqual:
     def make_engine(self, shards):
         rng = np.random.default_rng(2003)
