@@ -95,6 +95,9 @@ class StreamingAdaptiveSampler:
         # a sensor has reported at least once).
         self._last_good = np.zeros(self.width)
         self._tick = 0
+        # External recording-rate ceiling (Hz), imposed by a bandwidth
+        # coordinator under ingest back-pressure; None = uncapped.
+        self._max_rate_hz: float | None = None
 
     def _repair(self, frame: np.ndarray) -> np.ndarray:
         """Replace NaN readings with each sensor's last good value.
@@ -111,6 +114,31 @@ class StreamingAdaptiveSampler:
         self._last_good = frame
         return frame
 
+    def set_max_rate_hz(self, cap: float | None) -> None:
+        """Impose (or lift) an external per-sensor recording-rate ceiling.
+
+        The hook a :class:`~repro.streams.ingest.BandwidthCoordinator`
+        pulls under sustained ingest back-pressure: capping the
+        recording rate *degrades* fidelity instead of dropping samples
+        on the floor.  The cap is clamped to ``[min_rate_hz, rate_hz]``
+        (degrade, never silence a sensor) and applied to the current
+        decimation factors immediately — relief must not wait for the
+        next re-estimation window.  ``None`` lifts the cap; activity-
+        driven rates return at the next window close.
+
+        Args:
+            cap: Maximum recording rate in Hz, or ``None`` to uncap.
+        """
+        if cap is not None:
+            if cap <= 0:
+                raise AcquisitionError(
+                    f"rate cap must be positive, got {cap}"
+                )
+            cap = min(max(float(cap), self.min_rate_hz), self.rate_hz)
+            floor = max(1, int(self.rate_hz // cap))
+            self._factors = np.maximum(self._factors, floor)
+        self._max_rate_hz = cap
+
     def _reestimate(self) -> None:
         """Close the current window: derive next-window rates from it."""
         window = np.array(self._buffer)
@@ -125,6 +153,10 @@ class StreamingAdaptiveSampler:
                 tolerance=self.tolerance, scale=scale,
             )
             required = max(self.min_rate_hz, nyquist_rate(f_max))
+            if self._max_rate_hz is not None:
+                required = max(
+                    self.min_rate_hz, min(required, self._max_rate_hz)
+                )
             self._factors[s] = max(1, int(self.rate_hz // required))
         self.stats.rate_updates += self.width
 

@@ -214,6 +214,16 @@ class FaultyDevice(DeviceLayer):
             )
         self.inner.write_block(block_id, items)
 
+    def write_many(self, blocks: dict) -> None:
+        """Bulk store with one seeded fault draw per member, in group
+        order — the identical schedule N sequential writes would draw,
+        so a fault plan replays the same way through the group-commit
+        path as through per-block writes.  A drawn failure aborts the
+        group at that member; the caller retries the (idempotent) group.
+        """
+        for block_id, items in blocks.items():
+            self.write_block(block_id, items)
+
     def _read(self, fetch, block_id):
         plan = self._active_plan()
         if plan is None:

@@ -4,8 +4,10 @@ PR 1 made "every quantitative claim is a registry series" the repo's
 observability contract.  ``obs-coverage`` keeps it true structurally:
 every :class:`BlockDevice` implementation (a class defining both
 ``read_block`` and ``write_block``) in the storage/faults packages, and
-the :class:`QueryService` front end and :class:`BatchEvaluator` batch
-executor, must touch the obs registry —
+the named data-path executors — the :class:`QueryService` front end,
+the :class:`BatchEvaluator` batch executor, and the ingest tier's
+:class:`BatchInserter` / :class:`IngestService` /
+:class:`BandwidthCoordinator` — must touch the obs registry —
 ``counter()`` / ``gauge()`` / ``histogram()`` (or their ``obs_*``
 aliases) somewhere in the class body.
 
@@ -37,7 +39,15 @@ OBS_CALL_NAMES = frozenset(
 DEVICE_PACKAGES = ("repro.storage", "repro.faults")
 
 #: Class names always covered, wherever they live.
-ALWAYS_COVERED = frozenset({"BatchEvaluator", "QueryService"})
+ALWAYS_COVERED = frozenset(
+    {
+        "BatchEvaluator",
+        "QueryService",
+        "BatchInserter",
+        "IngestService",
+        "BandwidthCoordinator",
+    }
+)
 
 
 def _is_protocol(cls: ast.ClassDef) -> bool:
@@ -76,8 +86,10 @@ class ObsCoverageRule(BaseRule):
     rule_id = "obs-coverage"
     severity = "error"
     description = (
-        "BlockDevice implementations, QueryService and BatchEvaluator "
-        "report into the obs registry (or carry a justified suppression)"
+        "BlockDevice implementations and the named data-path executors "
+        "(QueryService, BatchEvaluator, BatchInserter, IngestService, "
+        "BandwidthCoordinator) report into the obs registry (or carry "
+        "a justified suppression)"
     )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:

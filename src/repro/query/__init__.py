@@ -5,6 +5,7 @@ from repro.query.batch import BatchEstimate, BatchEvaluator, GroupByResult, grou
 from repro.query.dataapprox import DataApproxEngine
 from repro.query.explain import QueryPlan, explain, format_plan
 from repro.query.hybrid import HybridCost, HybridEngine
+from repro.query.ingest import BatchInserter
 from repro.query.packet_engine import PacketBasisEngine, cover_transform
 from repro.query.randproj import RandomProjectionEngine
 from repro.query.workload import drilldown_ranges, grid_group_by, random_ranges
@@ -40,6 +41,7 @@ __all__ = [
     "translate_query",
     "DataApproxEngine",
     "BatchEvaluator",
+    "BatchInserter",
     "BatchEstimate",
     "GroupByResult",
     "group_by",

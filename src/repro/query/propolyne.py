@@ -31,6 +31,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.errors import QueryError, StorageUnavailable
+from repro.lint.lockwatch import watched_lock
 from repro.obs import DEFAULT_COUNT_BUCKETS
 from repro.obs import counter as obs_counter
 from repro.obs import histogram as obs_histogram
@@ -334,6 +335,13 @@ class ProPolyneEngine:
         self._block_sizes = {
             block_id: len(items) for block_id, items in blocks.items()
         }
+        # Serializes every mutation of stored coefficients and norm
+        # bookkeeping: concurrent inserts used to race their per-block
+        # read-modify-writes (lost updates); readers stay lock-free.
+        self._update_lock = watched_lock("query.engine_update")
+        # Lazily-built batch-append kernel (repro.query.ingest); the
+        # scalar insert path routes through it as a batch of one.
+        self._inserter = None
 
     @classmethod
     def from_coefficients(
@@ -708,34 +716,16 @@ class ProPolyneEngine:
                     f"dimension {axis}: value {p} outside domain "
                     f"[0, {self.original_shape[axis]})"
                 )
-        obs_counter("query.inserts").inc()
-        impulse = RangeSumQuery(
-            ranges=tuple((int(p), int(p)) for p in point)
+        # Route through the vectorized batch kernel as a batch of one:
+        # scalar and batched appends share one code path (and the engine
+        # update lock), so they can never drift apart numerically.
+        if self._inserter is None:
+            from repro.query.ingest import BatchInserter
+
+            self._inserter = BatchInserter(self)
+        return self._inserter.insert_batch(
+            [tuple(int(p) for p in point)], [float(weight)]
         )
-        delta = translate_query(
-            impulse, self.original_shape, self.shape, self.levels, self.filter
-        )
-        # Group by block: one read-modify-write per touched block.
-        by_block: dict = {}
-        for idx, val in delta.items():
-            by_block.setdefault(
-                self.store.allocation.block_of(idx), {}
-            )[idx] = val
-        touched = 0
-        for block_id, changes in by_block.items():
-            block = self.store.fetch_block(block_id)
-            for idx, val in changes.items():
-                block[idx] = block[idx] + weight * val
-                touched += 1
-            self.store.update_block(block_id, block)
-            self._block_norms[block_id] = math.sqrt(
-                sum(v * v for v in block.values())
-            )
-        # Keep the store's global norm consistent for error bounds.
-        self.store._norm = math.sqrt(
-            sum(n * n for n in self._block_norms.values())
-        )
-        return touched
 
     def evaluate_approximate(
         self, query: RangeSumQuery, block_budget: int

@@ -137,6 +137,29 @@ class _StoreBase:
                 return {}
             return self.device.read_many(ids)
 
+    def store_blocks(self, payloads: dict) -> None:
+        """Group-commit block write: one coalesced device write for many
+        blocks.
+
+        The batch inserter's I/O exit point and the write-side twin of
+        :meth:`fetch_blocks` — a whole batch's dirty blocks go down as a
+        single ``write_many``, which the sharded device splits into one
+        write per shard group on its persistent fan-out pool, with cache
+        invalidation and CRC framing applied per member by the
+        middleware stack.
+
+        Args:
+            payloads: Mapping from block id to the full replacement
+                payload dictionary for that block.
+        """
+        with span("storage.store_blocks"):
+            obs_histogram(
+                "storage.blocks_per_write_batch", DEFAULT_COUNT_BUCKETS
+            ).observe(len(payloads))
+            if not payloads:
+                return
+            self.device.write_many(payloads)
+
     def close(self) -> None:
         """Release storage resources (fan-out pools); idempotent."""
         self._built.close()

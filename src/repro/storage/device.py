@@ -151,6 +151,19 @@ class DeviceLayer:  # lint: ignore[obs-coverage] — pure delegation base; meter
         """Store one block through the stack."""
         self.inner.write_block(block_id, items)
 
+    def write_many(self, blocks: dict) -> None:
+        """Store several blocks; ``blocks`` maps block id to payload.
+
+        The write-side twin of :meth:`read_many`: the default loops
+        :meth:`write_block` so every layer's per-block semantics (cache
+        invalidation, CRC framing, fault draws) apply unchanged; a
+        sharded device overrides this with a coalesced per-shard
+        fan-out, and framing/caching layers override it to push the
+        whole group down in one inner call.
+        """
+        for block_id, items in blocks.items():
+            self.write_block(block_id, items)
+
     def has_block(self, block_id: Hashable) -> bool:
         """Existence check (directory metadata, no I/O charged)."""
         return self.inner.has_block(block_id)
@@ -227,6 +240,15 @@ class MeteredDevice(DeviceLayer):
         with self._lock:
             self.writes += 1
         obs_counter(f"{self.prefix}.writes").inc()
+
+    def write_many(self, blocks: dict) -> None:
+        """Bulk store, counting one write per block and preserving the
+        inner device's coalesced fan-out."""
+        self.inner.write_many(blocks)
+        n = len(blocks)
+        with self._lock:
+            self.writes += n
+        obs_counter(f"{self.prefix}.writes").inc(n)
 
     def stats(self) -> dict:
         """This meter's totals plus the inner layers' statistics."""
@@ -324,6 +346,26 @@ class CachingDevice(DeviceLayer):
         self.inner.write_block(block_id, items)
         self.invalidate(block_id)
 
+    def write_many(self, blocks: dict) -> None:
+        """Group write-through: one coalesced inner write, then every
+        touched id invalidated.
+
+        Invalidation happens *after* the inner write settles, with one
+        generation bump per block — exactly the coherence the per-block
+        path provides, because an in-flight miss racing any of these
+        writes sees a generation newer than the one it captured and
+        declines to publish its stale payload.  When the inner write
+        fails partway (an injected write fault below), every member is
+        invalidated anyway: blocks that did reach the device must not
+        be shadowed by stale cache entries, and dropping a still-valid
+        entry merely costs one re-read.
+        """
+        try:
+            self.inner.write_many(blocks)
+        finally:
+            for block_id in blocks:
+                self.invalidate(block_id)
+
     def invalidate(self, block_id: Hashable) -> None:
         """Drop a cached block.
 
@@ -406,6 +448,34 @@ class CrcFramedDevice(DeviceLayer):  # lint: ignore[obs-coverage] — transparen
         with self._lock:
             self._counts[block_id] = len(items)
 
+    def write_many(self, blocks: dict) -> None:
+        """Frame every payload in the group and store the encoded frames
+        as one coalesced inner write.
+
+        Validation (dict payloads only, capacity bound) runs for the
+        *whole* group before any frame reaches the inner device, so a
+        malformed member rejects the batch instead of leaving a torn
+        group half-written.
+        """
+        for block_id, items in blocks.items():
+            if not isinstance(items, dict):
+                raise StorageError(
+                    f"block {block_id!r}: CRC framing stores payload "
+                    f"dictionaries, got {type(items).__name__}"
+                )
+            if len(items) > self.block_size:
+                raise StorageError(
+                    f"block {block_id!r}: {len(items)} items exceed "
+                    f"block size {self.block_size}"
+                )
+        self.inner.write_many(
+            {block_id: encode_block(items)
+             for block_id, items in blocks.items()}
+        )
+        with self._lock:
+            for block_id, items in blocks.items():
+                self._counts[block_id] = len(items)
+
     def read_block(self, block_id: Hashable):
         """Fetch one frame, verify its CRC, and decode the payload."""
         data = self.inner.read_block(block_id)
@@ -475,6 +545,21 @@ class ResilientDevice(DeviceLayer):
         """Bulk fetch, each block independently guarded (one block's
         exhaustion does not waste the others' completed reads)."""
         return {b: self.read_block(b) for b in block_ids}
+
+    def write_many(self, blocks: dict) -> None:
+        """Group commit under the retry/breaker stack.
+
+        The whole group is guarded as *one* operation — block overwrites
+        are idempotent, so when an injected write fault fails the group
+        partway through, the retry simply re-drives every member and the
+        final state is the intended one.  Guarding the group (instead of
+        per block, as :meth:`read_many` does) keeps the inner layers'
+        coalesced fan-out intact on the retried attempt.
+        """
+        if self._caller is None:
+            self.inner.write_many(blocks)
+            return
+        self._caller.call(self.inner.write_many, blocks)
 
     def stats(self) -> dict:
         """Resilience configuration plus the inner layers' statistics."""

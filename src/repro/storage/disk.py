@@ -139,6 +139,15 @@ class SimulatedDisk:  # lint: ignore[obs-coverage] — deliberately dumb leaf; s
         """Fetch several blocks; returns ``{block_id: payload}``."""
         return {b: self.read_block(b) for b in block_ids}
 
+    def write_many(self, blocks: dict) -> None:
+        """Store several blocks; ``blocks`` maps block id to payload.
+
+        Each member is written (and counted in :class:`IOStats`) exactly
+        like a :meth:`write_block` call, in group order.
+        """
+        for block_id, items in blocks.items():
+            self.write_block(block_id, items)
+
     def has_block(self, block_id: Hashable) -> bool:
         """Existence check (no I/O charged — directory metadata)."""
         with self._lock:

@@ -173,6 +173,50 @@ class ShardedDevice:  # lint: ignore[obs-coverage] — pure fan-out; StorageSpec
         """Store one block on its owning shard."""
         self._device_for(block_id).write_block(block_id, items)
 
+    def write_many(self, blocks: dict) -> None:
+        """Store several blocks, fanning out across the shards touched.
+
+        The write-side twin of :meth:`read_many`: the group is coalesced
+        into one ``write_many`` per owning shard
+        (:func:`~repro.storage.scheduler.coalesce_by_shard`), and when
+        more than one shard (and more than one worker) is involved the
+        shard groups run on the same persistent fan-out pool reads use,
+        so per-device write latency overlaps.  Failures propagate only
+        after every group has settled — surviving shards' commits are
+        never abandoned mid-flight — and multiple shard failures are
+        reported as the first exception with the rest attached as
+        ``__notes__`` entries, exactly like the read path.
+        """
+        groups = coalesce_by_shard(blocks, self.shard_of)
+        if not groups:
+            return
+        if len(groups) == 1 or self.fanout_workers == 1:
+            for shard, ids in groups:
+                self.devices[shard].write_many(
+                    {b: blocks[b] for b in ids}
+                )
+            return
+        pool = self._fanout_pool()
+        futures = [
+            (shard, pool.submit(
+                self.devices[shard].write_many, {b: blocks[b] for b in ids}
+            ))
+            for shard, ids in groups
+        ]
+        errors: list[tuple[int, Exception]] = []
+        for shard, future in futures:
+            try:
+                future.result()
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                errors.append((shard, exc))
+        if errors:
+            _, first = errors[0]
+            for shard, exc in errors[1:]:
+                first.add_note(
+                    f"shard {shard} also failed: {type(exc).__name__}: {exc}"
+                )
+            raise first
+
     def has_block(self, block_id: Hashable) -> bool:
         """Existence check on the owning shard."""
         return self._device_for(block_id).has_block(block_id)

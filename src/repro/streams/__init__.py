@@ -2,6 +2,11 @@
 
 from repro.streams.buffer import AcquisitionStats, DoubleBuffer
 from repro.streams.dropout import GapFiller
+from repro.streams.ingest import (
+    BandwidthCoordinator,
+    IngestService,
+    IngestSession,
+)
 from repro.streams.jitter import perturb_timing
 from repro.streams.multiplex import demultiplex, multiplex
 from repro.streams.sample import Frame, Sample, frames_to_matrix
@@ -30,4 +35,7 @@ __all__ = [
     "DoubleBuffer",
     "AcquisitionStats",
     "GapFiller",
+    "BandwidthCoordinator",
+    "IngestService",
+    "IngestSession",
 ]

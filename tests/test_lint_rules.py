@@ -428,6 +428,32 @@ class TestObservabilityRule:
             source, "src/repro/query/batch.py", "obs-coverage"
         ) == []
 
+    def test_ingest_tier_classes_must_touch_the_registry(self):
+        for name, path in (
+            ("BatchInserter", "src/repro/query/ingest.py"),
+            ("IngestService", "src/repro/streams/ingest.py"),
+            ("BandwidthCoordinator", "src/repro/streams/ingest.py"),
+        ):
+            source = f"""
+            class {name}:
+                def run(self):
+                    return None
+            """
+            assert ids(findings_for(source, path, "obs-coverage")) == [
+                "obs-coverage"
+            ], name
+
+    def test_ingest_tier_reporting_metrics_clean(self):
+        source = """
+        class IngestService:
+            def submit(self, point, weight):
+                obs_gauge("ingest.queue_depth").set(self._queue.qsize())
+                self._queue.put((point, weight))
+        """
+        assert findings_for(
+            source, "src/repro/streams/ingest.py", "obs-coverage"
+        ) == []
+
 
 class TestRepoIsClean:
     def test_lint_repo_has_no_findings(self):

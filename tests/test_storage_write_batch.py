@@ -1,0 +1,251 @@
+"""Tests for the group-commit write path: ``write_many`` through every
+middleware layer and ``store_blocks`` on the block stores.
+
+The contract under test is the write-side twin of the coalesced read
+path: one ``write_many`` per batch must leave the device stack in the
+identical state N sequential ``write_block`` calls would, with metering
+counting every member, caches invalidating every member (even when the
+inner write fails partway), CRC framing validating the whole group
+before any write, retries re-driving the group as one idempotent
+operation, and shards receiving one coalesced sub-group each.
+"""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.faults.plan import FaultPlan, FaultyDevice, InjectedWriteError
+from repro.faults.retry import RetryPolicy
+from repro.obs import MetricsRegistry, use_registry
+from repro.storage.blockstore import TensorBlockStore, WaveletBlockStore
+from repro.storage.device import (
+    CachingDevice,
+    CrcFramedDevice,
+    MeteredDevice,
+    ResilientDevice,
+    StorageSpec,
+)
+from repro.storage.disk import SimulatedDisk
+from repro.storage.sharding import ShardedDevice
+
+import numpy as np
+
+from repro.storage.allocation import (
+    TensorAllocation,
+    subtree_tiling_allocation,
+)
+
+
+def _payloads(n=4, base=0):
+    return {
+        i: {i * 10 + j: float(base + i + j) for j in range(3)}
+        for i in range(n)
+    }
+
+
+class TestLeafAndMetering:
+    def test_disk_write_many_stores_every_member(self):
+        disk = SimulatedDisk(block_size=8)
+        blocks = _payloads()
+        disk.write_many(blocks)
+        for block_id, items in blocks.items():
+            assert disk.read_block(block_id) == items
+
+    def test_metered_counts_one_write_per_member(self):
+        disk = SimulatedDisk(block_size=8)
+        metered = MeteredDevice(disk, prefix="storage.disk")
+        metered.write_many(_payloads(5))
+        assert metered.writes == 5
+        metered.write_block(99, {990: 1.0})
+        assert metered.writes == 6
+
+
+class TestCachingInvalidation:
+    def test_group_write_invalidates_every_member(self):
+        disk = SimulatedDisk(block_size=8)
+        cache = CachingDevice(disk, capacity=8)
+        cache.write_many(_payloads(3, base=0))
+        for i in range(3):
+            cache.read_block(i)  # warm
+        cache.write_many(_payloads(3, base=100))
+        for i in range(3):
+            assert cache.read_block(i) == disk.read_block(i)
+            assert cache.read_block(i)[i * 10] == float(100 + i)
+
+    def test_partial_group_failure_still_invalidates_all(self):
+        class HalfwayDisk(SimulatedDisk):
+            """Leaf whose group write fails after the first member."""
+
+            def write_many(self, blocks):
+                for k, (block_id, items) in enumerate(blocks.items()):
+                    if k == 1:
+                        raise InjectedWriteError("mid-group failure")
+                    self.write_block(block_id, items)
+
+        disk = HalfwayDisk(block_size=8)
+        cache = CachingDevice(disk, capacity=8)
+        old = _payloads(2, base=0)
+        for block_id, items in old.items():
+            SimulatedDisk.write_block(disk, block_id, items)
+        cache.read_block(0)
+        cache.read_block(1)
+        with pytest.raises(InjectedWriteError):
+            cache.write_many(_payloads(2, base=100))
+        # Block 0 reached the device before the failure; the cache must
+        # not shadow it with the pre-write payload it had cached.
+        assert cache.read_block(0) == disk.read_block(0)
+        assert cache.read_block(0)[0] == 100.0
+        assert cache.read_block(1) == disk.read_block(1)
+
+
+class TestCrcFraming:
+    def test_group_round_trips_through_frames(self):
+        disk = SimulatedDisk(block_size=8)
+        crc = CrcFramedDevice(disk)
+        blocks = _payloads(3)
+        crc.write_many(blocks)
+        assert crc.read_many(list(blocks)) == blocks
+
+    def test_group_validated_before_any_write(self):
+        disk = SimulatedDisk(block_size=8)
+        crc = CrcFramedDevice(disk)
+        crc.write_many(_payloads(1))
+        bad = {0: {0: 9.0, 1: 9.0, 2: 9.0}, 1: "not-a-dict"}
+        with pytest.raises(StorageError):
+            crc.write_many(bad)
+        # The invalid member aborted the whole group before any write.
+        assert crc.read_block(0) == _payloads(1)[0]
+
+
+class TestResilientGroupRetry:
+    def test_group_retried_as_one_idempotent_operation(self):
+        plan = FaultPlan(seed=11, write_error_rate=0.5)
+        disk = SimulatedDisk(block_size=8)
+        faulty = FaultyDevice(disk, plan)
+        policy = RetryPolicy(
+            max_attempts=8, base_delay_s=0.0, max_delay_s=0.0, budget_s=1.0
+        )
+        resilient = ResilientDevice(faulty, retry_policy=policy)
+        blocks = _payloads(4)
+        resilient.write_many(blocks)
+        for block_id, items in blocks.items():
+            assert disk.read_block(block_id) == items
+
+    def test_without_policy_failure_propagates(self):
+        plan = FaultPlan(seed=0, write_error_rate=1.0)
+        resilient = ResilientDevice(
+            FaultyDevice(SimulatedDisk(block_size=8), plan)
+        )
+        with pytest.raises(InjectedWriteError):
+            resilient.write_many(_payloads(2))
+
+
+class TestShardedFanOut:
+    def test_group_write_matches_sequential(self):
+        def build():
+            return ShardedDevice(
+                [SimulatedDisk(block_size=8) for _ in range(3)]
+            )
+
+        blocks = _payloads(12)
+        grouped = build()
+        grouped.write_many(blocks)
+        sequential = build()
+        for block_id, items in blocks.items():
+            sequential.write_block(block_id, items)
+        for block_id in blocks:
+            assert grouped.read_block(block_id) == (
+                sequential.read_block(block_id)
+            )
+        assert grouped.io_totals().writes == len(blocks)
+        grouped.close()
+        sequential.close()
+
+    def test_multi_shard_failures_aggregate_notes(self):
+        class BrokenDisk(SimulatedDisk):
+            """Leaf that rejects every write."""
+
+            def write_block(self, block_id, items):
+                raise InjectedWriteError(f"shard down: {block_id!r}")
+
+        sharded = ShardedDevice([BrokenDisk(block_size=8) for _ in range(2)])
+        blocks = {i: {i: 1.0} for i in range(8)}
+        assert len({sharded.shard_of(i) for i in blocks}) == 2
+        with pytest.raises(InjectedWriteError) as excinfo:
+            sharded.write_many(blocks)
+        assert any(
+            "also failed" in note
+            for note in getattr(excinfo.value, "__notes__", [])
+        )
+        sharded.close()
+
+
+class TestStoreBlocks:
+    def _tensor_store(self, **spec_kwargs):
+        cube = np.arange(64, dtype=float).reshape(8, 8)
+        allocation = TensorAllocation(
+            axes=(
+                subtree_tiling_allocation(8, 4),
+                subtree_tiling_allocation(8, 4),
+            )
+        )
+        return TensorBlockStore(
+            cube, allocation, storage=StorageSpec(**spec_kwargs)
+        )
+
+    def test_store_blocks_matches_per_block_updates(self):
+        batched = self._tensor_store(shards=2, cache_blocks=4)
+        sequential = self._tensor_store(shards=2, cache_blocks=4)
+        ids = batched.device.block_ids()
+        payloads = {
+            block_id: {
+                key: value * 2.0
+                for key, value in batched.fetch_block(block_id).items()
+            }
+            for block_id in ids
+        }
+        batched.store_blocks(payloads)
+        for block_id, items in payloads.items():
+            sequential.update_block(block_id, items)
+        for block_id in ids:
+            assert batched.fetch_block(block_id) == (
+                sequential.fetch_block(block_id)
+            )
+        batched.close()
+        sequential.close()
+
+    def test_store_blocks_observes_batch_size_histogram(self):
+        with use_registry(MetricsRegistry()) as reg:
+            store = self._tensor_store()
+            ids = store.device.block_ids()[:3]
+            store.store_blocks(
+                {block_id: store.fetch_block(block_id) for block_id in ids}
+            )
+            hist = reg.histogram("storage.blocks_per_write_batch")
+            assert hist.count == 1
+            store.close()
+
+    def test_empty_store_blocks_is_a_no_op(self):
+        store = self._tensor_store()
+        before = store.io_snapshot()
+        store.store_blocks({})
+        assert store.io_since(before).writes == 0
+        store.close()
+
+    def test_wavelet_store_group_write_round_trips(self):
+        values = np.arange(32, dtype=float)
+        allocation = subtree_tiling_allocation(values.size, block_size=8)
+        store = WaveletBlockStore(
+            values, allocation, storage=StorageSpec(cache_blocks=2, crc=True)
+        )
+        ids = store.device.block_ids()
+        payloads = {
+            block_id: {
+                key: value + 1.0
+                for key, value in store.fetch_block(block_id).items()
+            }
+            for block_id in ids
+        }
+        store.store_blocks(payloads)
+        for block_id, items in payloads.items():
+            assert store.fetch_block(block_id) == items
+        store.close()
