@@ -139,6 +139,16 @@ class StreamingAdaptiveSampler:
             self._factors = np.maximum(self._factors, floor)
         self._max_rate_hz = cap
 
+    @property
+    def max_rate_hz(self) -> float | None:
+        """The currently imposed rate ceiling (``None`` = uncapped).
+
+        Session recorders poll this per push, so every coordinator
+        degradation/restoration lands in the session record as a
+        ``rate_change`` event.
+        """
+        return self._max_rate_hz
+
     def _reestimate(self) -> None:
         """Close the current window: derive next-window rates from it."""
         window = np.array(self._buffer)

@@ -422,6 +422,127 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Record → replay drill: prove a session replays bitwise-exactly.
+
+    Records one live ingest session (points, weights, timestamps,
+    sampler-rate changes) through a
+    :class:`~repro.streams.replay.SessionRecorder`, replays it into a
+    twin engine seeded with the same starting coefficients, and
+    compares the stored coefficients byte for byte.  Exits non-zero if
+    fidelity is broken.  ``--out`` saves the record as JSON lines
+    (the ``repro.replay/v1`` framing in ``docs/REPLAY.md``).
+    """
+    from repro.acquisition.streaming import StreamingAdaptiveSampler
+    from repro.query.propolyne import ProPolyneEngine
+    from repro.storage.device import StorageSpec
+    from repro.streams.ingest import IngestService
+    from repro.streams.replay import SessionRecorder, SessionReplayer
+
+    if args.points < 1:
+        print(f"--points must be >= 1, got {args.points}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    n, width = 32, 8
+    cube = rng.poisson(2.0, size=(n, width)).astype(float)
+    spec = StorageSpec(shards=2, cache_blocks=16)
+
+    def build() -> ProPolyneEngine:
+        return ProPolyneEngine(
+            cube, max_degree=1, block_size=4, storage=spec
+        )
+
+    engine = build()
+    engine.enable_versioning()
+    recorder = SessionRecorder()
+    sampler = StreamingAdaptiveSampler(width=width, rate_hz=50.0)
+
+    def to_point(sample) -> tuple[int, int]:
+        return (int(abs(sample.value)) % n, sample.sensor_id % width)
+
+    with IngestService(
+        engine, queue_capacity=1024, commit_batch=64, recorder=recorder
+    ) as service:
+        session = service.open_session("replay-drill", sampler, to_point)
+        tick = 0
+        while session.submitted < args.points:
+            session.push(
+                np.sin(np.arange(width) * 0.3 + tick * 0.2) * 20.0
+            )
+            tick += 1
+        service.flush()
+        session.close()
+    record = recorder.record("replay-drill")
+
+    speed = None if args.speed <= 0 else args.speed
+    twin = build()
+    replayed = SessionReplayer(record, speed=speed).replay_into(twin)
+    identical = (
+        engine.to_coefficients().tobytes() == twin.to_coefficients().tobytes()
+    )
+    print(f"replay drill: session {record.session_id!r}")
+    print(f"  recorded        : {record.points} points, "
+          f"{record.rate_changes} rate change(s), "
+          f"{record.duration_s:.2f} s of stream time")
+    print(f"  start epoch     : {record.start_epoch} "
+          f"(live engine now at epoch {engine.epoch})")
+    print(f"  replayed        : {replayed} points at "
+          f"{'full speed' if speed is None else f'x{speed:g}'}")
+    print(f"  fidelity        : "
+          f"{'bitwise-identical' if identical else 'MISMATCH'}")
+    if args.out:
+        path = record.save(args.out)
+        print(f"  record saved    : {path}")
+    return 0 if identical else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """EXPLAIN + audit provenance for a demo range-sum.
+
+    Prints the classic indented query plan, evaluates the query
+    degradably (live, or pinned to ``--as-of EPOCH`` on the versioned
+    demo engine), and prints the attached
+    :class:`~repro.query.explain.QueryProvenance` audit record as JSON
+    (``repro.provenance/v1``).
+    """
+    from repro.query.explain import attach_provenance, explain, format_plan
+    from repro.query.ingest import BatchInserter
+    from repro.query.propolyne import ProPolyneEngine
+    from repro.query.rangesum import RangeSumQuery
+    from repro.storage.device import StorageSpec
+
+    rng = np.random.default_rng(args.seed)
+    n = 16
+    cube = _atmospheric_count_cube(rng, n)
+    engine = ProPolyneEngine(
+        cube, max_degree=1, block_size=4,
+        storage=StorageSpec(shards=2, cache_blocks=16),
+    )
+    engine.enable_versioning()
+    # A little history, so --as-of has epochs to travel to.
+    inserter = BatchInserter(engine)
+    for _ in range(args.epochs):
+        points = [tuple(p) for p in rng.integers(0, n, size=(32, 3))]
+        inserter.insert_batch(points)
+    query = RangeSumQuery.count([(2, 11), (0, n - 1), (3, 12)])
+    plan = explain(engine, query)
+    print(format_plan(plan))
+    as_of = args.as_of
+    if as_of is not None and not 0 <= as_of <= engine.epoch:
+        print(f"--as-of must be in [0, {engine.epoch}], got {as_of}",
+              file=sys.stderr)
+        return 2
+    outcome = engine.evaluate_degradable(query, as_of=as_of)
+    outcome = attach_provenance(engine, query, outcome, as_of=as_of)
+    label = "live" if as_of is None else f"as of epoch {as_of}"
+    print(f"\nanswer ({label}, engine at epoch {engine.epoch}): "
+          f"{outcome.value:.6g}"
+          + (" [degraded]" if outcome.degraded else " [exact]"))
+    print("provenance:")
+    print(outcome.provenance.to_json(indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -470,6 +591,34 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="cache_blocks",
                        help="block-cache capacity (default 32)")
 
+    replay = sub.add_parser(
+        "replay",
+        help="record a live ingest session and replay it bitwise-exactly",
+    )
+    replay.add_argument("--points", type=int, default=400,
+                        help="points to record before replaying "
+                             "(default 400)")
+    replay.add_argument("--speed", type=float, default=0.0,
+                        help="replay speed multiplier; <= 0 means "
+                             "as fast as possible (default)")
+    replay.add_argument("--out", default=None,
+                        help="save the session record (JSON lines) "
+                             "to this path")
+
+    explain = sub.add_parser(
+        "explain",
+        help="print a query plan and its audit provenance record",
+    )
+    explain.add_argument("--as-of", type=int, default=None, dest="as_of",
+                         help="evaluate pinned to this storage epoch "
+                              "(default: live)")
+    explain.add_argument("--epochs", type=int, default=3,
+                         help="history depth to build for the demo "
+                              "engine (default 3)")
+    explain.add_argument("--json", action="store_true",
+                         help="reserved for symmetry; provenance is "
+                              "always printed as JSON")
+
     stats = sub.add_parser(
         "stats",
         help="run an end-to-end pass and print the observability report",
@@ -504,6 +653,8 @@ _HANDLERS = {
     "asl": _cmd_asl,
     "olap": _cmd_olap,
     "chaos": _cmd_chaos,
+    "replay": _cmd_replay,
+    "explain": _cmd_explain,
     "report": _cmd_report,
     "stats": _cmd_stats,
     "lint": _cmd_lint,

@@ -46,6 +46,9 @@ ALWAYS_COVERED = frozenset(
         "BatchInserter",
         "IngestService",
         "BandwidthCoordinator",
+        "SessionRecorder",
+        "SessionReplayer",
+        "EpochLog",
     }
 )
 

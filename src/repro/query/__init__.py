@@ -3,7 +3,14 @@
 from repro.query.aggregates import ProgressiveAggregate, StatisticalAggregates
 from repro.query.batch import BatchEstimate, BatchEvaluator, GroupByResult, group_by
 from repro.query.dataapprox import DataApproxEngine
-from repro.query.explain import QueryPlan, explain, format_plan
+from repro.query.explain import (
+    QueryPlan,
+    QueryProvenance,
+    attach_provenance,
+    explain,
+    format_plan,
+    provenance_of,
+)
 from repro.query.hybrid import HybridCost, HybridEngine
 from repro.query.ingest import BatchInserter
 from repro.query.packet_engine import PacketBasisEngine, cover_transform
@@ -12,6 +19,7 @@ from repro.query.workload import drilldown_ranges, grid_group_by, random_ranges
 from repro.query.propolyne import (
     ProgressiveEstimate,
     ProPolyneEngine,
+    QueryOutcome,
     pad_to_pow2,
     translate_query,
 )
@@ -49,8 +57,12 @@ __all__ = [
     "ProgressiveAggregate",
     "HybridEngine",
     "QueryPlan",
+    "QueryProvenance",
+    "QueryOutcome",
     "explain",
     "format_plan",
+    "provenance_of",
+    "attach_provenance",
     "HybridCost",
     "PacketBasisEngine",
     "RandomProjectionEngine",

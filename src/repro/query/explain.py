@@ -1,4 +1,4 @@
-"""Query plan inspection — EXPLAIN for ProPolyne.
+"""Query plan inspection and audit provenance — EXPLAIN for ProPolyne.
 
 A DBMS exposes its plans; so does this one.  :func:`explain` translates a
 range-sum without executing it and reports what evaluation *would* cost:
@@ -6,22 +6,46 @@ the sparse transform size per dimension, the blocks touched, the
 importance profile driving the progressive order, and the worst-case
 guarantee available before any I/O.  :func:`format_plan` renders the
 classic indented text plan.
+
+The other half is looking *backwards*: :class:`QueryProvenance` is the
+structured audit record of an answer already delivered — which storage
+epoch answered, which blocks and shards were touched, the cache
+generations and breaker states at answer time, and the degradation
+story (reason, guaranteed bound, one-sigma forecast).  It serializes to
+JSON (``repro.provenance/v1``, the schema table in ``docs/REPLAY.md``)
+so a degraded or historical answer can be audited long after the
+process that produced it is gone.  :func:`provenance_of` builds one,
+:func:`attach_provenance` returns the outcome with it attached; the
+query service attaches provenance to every degradable outcome.
 """
 
 from __future__ import annotations
 
+import json
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.errors import QueryError
-from repro.query.propolyne import ProPolyneEngine
+from repro.obs import counter as obs_counter
+from repro.query.propolyne import ProPolyneEngine, QueryOutcome
 from repro.query.rangesum import RangeSumQuery
 from repro.storage.scheduler import plan_blocks
 from repro.wavelets.lazy import lazy_range_query_transform
 
-__all__ = ["QueryPlan", "explain", "format_plan"]
+__all__ = [
+    "PROVENANCE_SCHEMA",
+    "QueryPlan",
+    "QueryProvenance",
+    "attach_provenance",
+    "explain",
+    "format_plan",
+    "provenance_of",
+]
+
+#: Version tag carried by every serialized provenance record.
+PROVENANCE_SCHEMA = "repro.provenance/v1"
 
 
 @dataclass(frozen=True)
@@ -121,3 +145,152 @@ def format_plan(plan: QueryPlan) -> str:
         f"{plan.top_block_share:.0%} of it"
     )
     return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class QueryProvenance:
+    """Structured audit record of one delivered answer.
+
+    Field-for-field, this is the ``repro.provenance/v1`` JSON schema
+    documented in ``docs/REPLAY.md`` (a test asserts the two never
+    drift).  Everything here is either recomputed deterministically
+    from the query (block plan, shard placement) or snapshotted from
+    the live store at attach time (breaker states, cache generations),
+    so the record explains *why* an answer looks the way it does:
+    a degraded value traces to an open breaker on a named shard; an
+    as-of value names the epoch it reconstructed.
+
+    Attributes:
+        schema: Always :data:`PROVENANCE_SCHEMA`.
+        epoch: Storage epoch the answer was evaluated against, or
+            ``None`` for a live answer on an unversioned engine.
+        current_epoch: The engine's epoch when provenance was built
+            (equals ``epoch`` for live answers on versioned engines).
+        degraded: Whether the answer fell short of exact.
+        reason: ``None`` / ``"deadline"`` / ``"storage_unavailable"``.
+        error_bound: Guaranteed ceiling on the answer's error.
+        error_estimate: One-sigma probabilistic error forecast.
+        blocks_read: Blocks actually fetched for the answer.
+        blocks_skipped: Blocks skipped because storage was unavailable.
+        blocks_planned: Blocks an exact evaluation would touch.
+        blocks_by_shard: Planned block count per shard placement.
+        breaker_states: Per-shard circuit-breaker state at attach time
+            (``closed`` / ``half-open`` / ``open``).
+        cache_generations: Per-shard caching-layer invalidation
+            generation at attach time (a changed generation between
+            two answers means the cache was invalidated in between).
+        filter_name: Wavelet filter the engine evaluates under.
+    """
+
+    schema: str
+    epoch: int | None
+    current_epoch: int
+    degraded: bool
+    reason: str | None
+    error_bound: float
+    error_estimate: float
+    blocks_read: int
+    blocks_skipped: int
+    blocks_planned: int
+    blocks_by_shard: dict
+    breaker_states: dict
+    cache_generations: list
+    filter_name: str
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready; dict keys become strings)."""
+        return {
+            "schema": self.schema,
+            "epoch": self.epoch,
+            "current_epoch": self.current_epoch,
+            "degraded": self.degraded,
+            "reason": self.reason,
+            "error_bound": self.error_bound,
+            "error_estimate": self.error_estimate,
+            "blocks_read": self.blocks_read,
+            "blocks_skipped": self.blocks_skipped,
+            "blocks_planned": self.blocks_planned,
+            "blocks_by_shard": {
+                str(k): v for k, v in self.blocks_by_shard.items()
+            },
+            "breaker_states": {
+                str(k): v for k, v in self.breaker_states.items()
+            },
+            "cache_generations": list(self.cache_generations),
+            "filter_name": self.filter_name,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialized audit record (the artifact CI uploads)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def provenance_of(
+    engine: ProPolyneEngine,
+    query: RangeSumQuery,
+    outcome: QueryOutcome,
+    as_of: int | None = None,
+) -> QueryProvenance:
+    """Build the audit record for an already-delivered outcome.
+
+    Performs no data-block I/O: the block plan and shard placement are
+    recomputed from the (memoized) query translation and allocation
+    metadata, and the breaker/cache state is read from the live store.
+
+    Args:
+        engine: The engine (or view) that produced ``outcome``.
+        query: The range-sum that was evaluated.
+        outcome: The delivered :class:`~repro.query.propolyne.QueryOutcome`.
+        as_of: The epoch the evaluation was pinned to, if any.
+    """
+    entries = engine.query_entries(query)
+    store = engine.store
+    shard_of = getattr(store, "shard_of", None) or (lambda block_id: 0)
+    blocks_by_shard: dict[int, int] = {}
+    blocks_planned = 0
+    if entries:
+        plans = plan_blocks(entries, store.allocation.block_of)
+        blocks_planned = len(plans)
+        for plan in plans:
+            shard = int(shard_of(plan.block_id))
+            blocks_by_shard[shard] = blocks_by_shard.get(shard, 0) + 1
+    breakers = getattr(store, "breakers", None) or []
+    caches = getattr(store, "caches", None) or []
+    log = getattr(engine, "_epoch_log", None)
+    current_epoch = 0 if log is None else log.current
+    epoch = as_of if as_of is not None else (
+        None if log is None else current_epoch
+    )
+    obs_counter("provenance.records").inc()
+    if outcome.degraded:
+        obs_counter("provenance.degraded_records").inc()
+    return QueryProvenance(
+        schema=PROVENANCE_SCHEMA,
+        epoch=epoch,
+        current_epoch=current_epoch,
+        degraded=outcome.degraded,
+        reason=outcome.reason,
+        error_bound=outcome.error_bound,
+        error_estimate=outcome.error_estimate,
+        blocks_read=outcome.blocks_read,
+        blocks_skipped=outcome.blocks_skipped,
+        blocks_planned=blocks_planned,
+        blocks_by_shard=blocks_by_shard,
+        breaker_states={
+            i: breaker.state for i, breaker in enumerate(breakers)
+        },
+        cache_generations=[cache.generation for cache in caches],
+        filter_name=engine.filter.name,
+    )
+
+
+def attach_provenance(
+    engine: ProPolyneEngine,
+    query: RangeSumQuery,
+    outcome: QueryOutcome,
+    as_of: int | None = None,
+) -> QueryOutcome:
+    """Return ``outcome`` with its :class:`QueryProvenance` attached."""
+    return replace(
+        outcome, provenance=provenance_of(engine, query, outcome, as_of)
+    )

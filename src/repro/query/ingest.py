@@ -221,6 +221,18 @@ class BatchInserter:
         ).observe(len(block_ids))
         payloads = store.fetch_blocks(block_ids)
 
+        # Versioned engines: snapshot the pre-images (payloads are
+        # mutated in place below) and prior norms now, commit them to
+        # the epoch log only after the write succeeds.  Pre-image
+        # copies — not arithmetic deltas — keep as-of reconstruction
+        # bitwise-exact.
+        epoch_log = engine._epoch_log
+        if epoch_log is not None:
+            preimages = {bid: dict(payloads[bid]) for bid in block_ids}
+            prior_norms = {
+                bid: engine._block_norms.get(bid, 0.0) for bid in block_ids
+            }
+
         # 4. Gather current values, accumulate the stacked deltas with
         #    np.add.at — unbuffered, applied one entry at a time in
         #    point order, i.e. the exact float-op sequence sequential
@@ -256,4 +268,9 @@ class BatchInserter:
                 sum(n * n for n in engine._block_norms.values())
             )
         )
+        if epoch_log is not None:
+            # The commit is durable (store_blocks would have raised);
+            # the epoch bump happens under the same update lock that
+            # serialized the commit, so epoch numbers order commits.
+            epoch_log.record_commit(preimages, prior_norms, len(pts))
         return len(uniq_keys)

@@ -220,6 +220,12 @@ class QueryOutcome:
             whose error-bound mass therefore stays in ``error_bound``
             — on a sharded stack a single failed shard skips only its
             own blocks while surviving shards still answer.
+        provenance: Optional structured audit record
+            (:class:`~repro.query.explain.QueryProvenance`) attached by
+            :func:`~repro.query.explain.attach_provenance` or the
+            query service — which epoch answered, which blocks/shards
+            were touched, breaker states, and the degradation story.
+            ``None`` when no provenance was requested.
     """
 
     value: float
@@ -229,6 +235,7 @@ class QueryOutcome:
     blocks_read: int
     reason: str | None = None
     blocks_skipped: int = 0
+    provenance: object | None = None
 
 
 class ProPolyneEngine:
@@ -342,6 +349,8 @@ class ProPolyneEngine:
         # Lazily-built batch-append kernel (repro.query.ingest); the
         # scalar insert path routes through it as a batch of one.
         self._inserter = None
+        # Opt-in epoch versioning (enable_versioning); None = live-only.
+        self._epoch_log = None
 
     @classmethod
     def from_coefficients(
@@ -382,6 +391,80 @@ class ProPolyneEngine:
         )
         return engine
 
+    # -- epoch versioning ----------------------------------------------------
+
+    def enable_versioning(self, retain: int | None = None):
+        """Turn on epoch-versioned storage for this engine (idempotent).
+
+        From this call on, every committed batch append bumps the
+        engine's :attr:`epoch` and records the touched blocks'
+        pre-images in an :class:`~repro.storage.epochs.EpochLog`, so
+        :meth:`as_of_view` / ``as_of=`` queries can reconstruct any
+        retained past state bitwise-exactly.  The current state at the
+        moment of this call becomes epoch 0.
+
+        Args:
+            retain: Keep at most this many most-recent epochs
+                reconstructable (``None`` = unbounded; see the
+                retention runbook in ``docs/OPERATIONS.md``).
+
+        Returns:
+            The engine's :class:`~repro.storage.epochs.EpochLog`.
+        """
+        from repro.storage.epochs import EpochLog
+
+        with self._update_lock:
+            if self._epoch_log is None:
+                self._epoch_log = EpochLog(retain=retain)
+        return self._epoch_log
+
+    @property
+    def epoch(self) -> int:
+        """Current storage epoch (0 until versioning records a commit)."""
+        log = self._epoch_log
+        return 0 if log is None else log.current
+
+    @property
+    def epoch_log(self):
+        """The engine's :class:`~repro.storage.epochs.EpochLog`, or
+        ``None`` when versioning is disabled."""
+        return self._epoch_log
+
+    def as_of_view(self, epoch: int) -> "ProPolyneEngine":
+        """A read-only engine view pinned to a past storage epoch.
+
+        The view shares the live engine's translation machinery and
+        falls through to live storage for blocks no later epoch
+        touched; blocks with logged pre-images are served from the
+        epoch log with zero device I/O.  Its ``_block_norms`` are
+        reconstructed as of ``epoch``, so progressive error bounds are
+        the bounds that held *then*.  Route updates to the live engine
+        — the view refuses them.
+
+        Args:
+            epoch: Target epoch in ``[floor, current]`` (0 is the
+                state when versioning was enabled).
+        """
+        import copy
+
+        from repro.storage.epochs import AsOfStore
+
+        if self._epoch_log is None:
+            raise QueryError(
+                "as-of queries need versioning: call "
+                "engine.enable_versioning() before the writes you want "
+                "to travel back over"
+            )
+        view = copy.copy(self)
+        view.store = AsOfStore(self.store, self._epoch_log, epoch)
+        view._block_norms = self._epoch_log.norms_as_of(
+            epoch, self._block_norms
+        )
+        # Views are frozen history: no inserter, and no further as-of
+        # hops (the log belongs to the live engine).
+        view._inserter = None
+        return view
+
     # -- query translation -------------------------------------------------
 
     def query_entries(
@@ -403,8 +486,23 @@ class ProPolyneEngine:
 
     # -- evaluation ---------------------------------------------------------
 
-    def evaluate_exact(self, query: RangeSumQuery) -> float:
-        """Exact answer: one sparse inner product in the wavelet domain."""
+    def evaluate_exact(
+        self, query: RangeSumQuery, as_of: int | None = None
+    ) -> float:
+        """Exact answer: one sparse inner product in the wavelet domain.
+
+        Args:
+            query: The range-sum to evaluate.
+            as_of: Optional storage epoch to evaluate against
+                (versioned engines only) — the answer is bitwise-equal
+                to what :meth:`evaluate_exact` returned when that epoch
+                was current, because the as-of view reconstructs the
+                identical stored values and reduces through the same
+                kernel in the same order.
+        """
+        if as_of is not None:
+            obs_counter("epoch.as_of_queries").inc()
+            return self.as_of_view(as_of).evaluate_exact(query)
         with span("query.exact"):
             obs_counter("query.exact.queries").inc()
             entries = self.query_entries(query)
@@ -579,6 +677,7 @@ class ProPolyneEngine:
         deadline_s: float | None = None,
         importance: str = "l2",
         clock=time.monotonic,
+        as_of: int | None = None,
     ) -> QueryOutcome:
         """Exact evaluation that degrades instead of failing or stalling.
 
@@ -607,11 +706,21 @@ class ProPolyneEngine:
             deadline_s: Wall-clock allowance, measured from this call.
             importance: Block-ordering objective (``"l2"``/``"linf"``).
             clock: Injectable monotonic clock (tests pin time).
+            as_of: Optional storage epoch to evaluate against
+                (versioned engines only) — logged blocks come from
+                pre-images, live fallthrough blocks can still degrade,
+                so a historical answer stays honest about outages.
 
         Returns:
             A :class:`QueryOutcome`; ``degraded`` outcomes carry the
             best estimate so far with a finite guaranteed error bound.
         """
+        if as_of is not None:
+            obs_counter("epoch.as_of_queries").inc()
+            return self.as_of_view(as_of).evaluate_degradable(
+                query, deadline_s=deadline_s, importance=importance,
+                clock=clock,
+            )
         entries = self.query_entries(query)
         if not entries:
             return QueryOutcome(0.0, False, 0.0, 0.0, 0, None)

@@ -45,6 +45,7 @@ from repro.obs import counter as obs_counter
 from repro.obs import gauge as obs_gauge
 from repro.obs import histogram as obs_histogram
 from repro.query.batch import BatchEvaluator
+from repro.query.explain import attach_provenance
 from repro.query.propolyne import (
     ProgressiveEstimate,
     ProPolyneEngine,
@@ -323,10 +324,14 @@ class ProgressiveStream:
 class _Task:
     """One admitted query: kind, payload, deadline, and its result sink."""
 
-    __slots__ = ("kind", "query", "importance", "future", "stream", "deadline_s")
+    __slots__ = (
+        "kind", "query", "importance", "future", "stream", "deadline_s",
+        "as_of",
+    )
 
     def __init__(
-        self, kind, query, importance, future, stream, deadline_s=None
+        self, kind, query, importance, future, stream, deadline_s=None,
+        as_of=None,
     ) -> None:
         self.kind = kind
         self.query = query
@@ -334,6 +339,7 @@ class _Task:
         self.future = future
         self.stream = stream
         self.deadline_s = deadline_s
+        self.as_of = as_of
 
 
 _SHUTDOWN = object()
@@ -432,7 +438,8 @@ class QueryService:
     # -- submission ------------------------------------------------------
 
     def submit_exact(
-        self, query: RangeSumQuery, block: bool = False
+        self, query: RangeSumQuery, block: bool = False,
+        as_of: int | None = None,
     ) -> Future:
         """Enqueue an exact range-sum; the future resolves to its value.
 
@@ -440,8 +447,12 @@ class QueryService:
             query: The range-sum to evaluate.
             block: When True, wait for queue space instead of raising
                 :class:`QueryRejected` on overload.
+            as_of: Optional storage epoch to evaluate against (the
+                engine must have versioning enabled).  As-of work runs
+                on the worker threads even in process mode — engine
+                replicas do not carry the epoch log.
         """
-        task = _Task("exact", query, "l2", Future(), None)
+        task = _Task("exact", query, "l2", Future(), None, as_of=as_of)
         self._admit(task, block)
         return task.future
 
@@ -451,6 +462,7 @@ class QueryService:
         deadline_s: float | None = None,
         importance: str = "l2",
         block: bool = False,
+        as_of: int | None = None,
     ) -> Future:
         """Enqueue a degradation-aware exact query; the future resolves
         to a :class:`~repro.query.propolyne.QueryOutcome`.
@@ -471,11 +483,19 @@ class QueryService:
                 :meth:`ProPolyneEngine.evaluate_progressive`.
             block: When True, wait for queue space instead of raising
                 :class:`QueryRejected` on overload.
+            as_of: Optional storage epoch to evaluate against (the
+                engine must have versioning enabled).
+
+        Every resolved outcome carries its
+        :class:`~repro.query.explain.QueryProvenance` audit record —
+        the epoch answered, blocks/shards planned, breaker states and
+        cache generations at answer time.
         """
         if deadline_s is None:
             deadline_s = self.default_deadline_s
         task = _Task(
-            "degradable", query, importance, Future(), None, deadline_s
+            "degradable", query, importance, Future(), None, deadline_s,
+            as_of=as_of,
         )
         self._admit(task, block)
         return task.future
@@ -561,7 +581,13 @@ class QueryService:
                 if task.kind == "exact":
                     # Process mode ships the query to an engine replica;
                     # the worker thread just blocks on the round trip.
-                    if self._proc_pool is not None:
+                    # As-of queries stay on the threads: replicas carry
+                    # no epoch log.
+                    if task.as_of is not None:
+                        value = self.engine.evaluate_exact(
+                            task.query, as_of=task.as_of
+                        )
+                    elif self._proc_pool is not None:
                         value = self._proc_pool.run_exact(task.query)
                     else:
                         value = self.engine.evaluate_exact(task.query)
@@ -577,11 +603,18 @@ class QueryService:
                         task.query,
                         deadline_s=task.deadline_s,
                         importance=task.importance,
+                        as_of=task.as_of,
                     )
                     if outcome.degraded:
                         with self._lock:
                             self.degraded += 1
                         obs_counter("query.service.degraded").inc()
+                    # Every degradable outcome leaves the service
+                    # auditable: no I/O, just the memoized plan plus
+                    # breaker/cache snapshots.
+                    outcome = attach_provenance(
+                        self.engine, task.query, outcome, as_of=task.as_of
+                    )
                     task.future.set_result(outcome)
                 else:
                     final = None

@@ -29,6 +29,7 @@ from repro.storage.device import (
     StorageSpec,
 )
 from repro.storage.disk import IOStats, SimulatedDisk
+from repro.storage.epochs import AsOfStore, EpochLog, EpochRecord
 from repro.storage.latency import LatencyModel
 from repro.storage.retrieval import ProgressiveSignal, SignalArchive
 from repro.storage.scheduler import BlockPlan, plan_blocks
@@ -65,6 +66,9 @@ __all__ = [
     "BlobStore",
     "BlobRef",
     "BlockPlan",
+    "AsOfStore",
+    "EpochLog",
+    "EpochRecord",
     "SignalArchive",
     "ProgressiveSignal",
     "plan_blocks",

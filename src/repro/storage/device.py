@@ -395,6 +395,18 @@ class CachingDevice(DeviceLayer):
         with self._lock:
             return len(self._cache)
 
+    @property
+    def generation(self) -> int:
+        """Current invalidation generation (monotonic).
+
+        Every invalidation or clear bumps it, so two equal readings
+        bracket a window with no cache invalidation in between — the
+        provenance surface records it per answer
+        (:class:`~repro.query.explain.QueryProvenance`).
+        """
+        with self._lock:
+            return self._gen
+
     def stats(self) -> dict:
         """Cache counters plus the inner layers' statistics."""
         with self._lock:

@@ -9,6 +9,12 @@ from repro.streams.ingest import (
 )
 from repro.streams.jitter import perturb_timing
 from repro.streams.multiplex import demultiplex, multiplex
+from repro.streams.replay import (
+    ReplayEvent,
+    SessionRecord,
+    SessionRecorder,
+    SessionReplayer,
+)
 from repro.streams.sample import Frame, Sample, frames_to_matrix
 from repro.streams.source import (
     ArraySource,
@@ -38,4 +44,8 @@ __all__ = [
     "BandwidthCoordinator",
     "IngestService",
     "IngestSession",
+    "ReplayEvent",
+    "SessionRecord",
+    "SessionRecorder",
+    "SessionReplayer",
 ]

@@ -223,11 +223,21 @@ class IngestSession:
                 f"session {self.session_id!r} is closed"
             )
         samples = self.sampler.push(values)
-        for sample in samples:
-            weight = (
-                1.0 if self._weight_of is None else self._weight_of(sample)
+        points = [self._to_point(sample) for sample in samples]
+        weights = [
+            1.0 if self._weight_of is None else self._weight_of(sample)
+            for sample in samples
+        ]
+        # Record before submitting: the log captures what the sampler
+        # decided (including the current rate cap), independent of how
+        # long the bounded queue back-pressures the submits below.
+        recorder = self.service.recorder
+        if recorder is not None:
+            recorder.on_push(
+                self.session_id, self.sampler, samples, points, weights
             )
-            self.service.submit(self._to_point(sample), weight)
+        for point, weight in zip(points, weights):
+            self.service.submit(point, weight)
         self.submitted += len(samples)
         return len(samples)
 
@@ -255,12 +265,18 @@ class IngestService:
         coordinator: Optional :class:`BandwidthCoordinator`; ``None``
             disables adaptation (queue pressure then only blocks).
         poll_seconds: Committer wait for the first point of a batch.
+        recorder: Optional
+            :class:`~repro.streams.replay.SessionRecorder`; when set,
+            every session's points, weights, timestamps and sampler
+            rate changes are logged into a replayable
+            :class:`~repro.streams.replay.SessionRecord`.
     """
 
     def __init__(
         self, engine, queue_capacity: int = 4096, commit_batch: int = 256,
         coordinator: BandwidthCoordinator | None = None,
         poll_seconds: float = 0.02,
+        recorder=None,
     ) -> None:
         if queue_capacity < 1:
             raise StreamError(
@@ -272,6 +288,7 @@ class IngestService:
             )
         self.engine = engine
         self.coordinator = coordinator
+        self.recorder = recorder
         self.commit_batch = commit_batch
         self.poll_seconds = poll_seconds
         self.queue_capacity = queue_capacity
@@ -343,6 +360,13 @@ class IngestService:
             n = len(self._sessions)
         if self.coordinator is not None:
             self.coordinator.register(sampler)
+        if self.recorder is not None:
+            # The record's snapshot anchor: the engine's storage epoch
+            # right now, before this session appends anything.
+            self.recorder.begin(
+                session_id, sampler,
+                start_epoch=getattr(self.engine, "epoch", 0),
+            )
         obs_gauge("ingest.sessions").set(n)
         return session
 
@@ -352,6 +376,8 @@ class IngestService:
             n = len(self._sessions)
         if self.coordinator is not None:
             self.coordinator.unregister(session.sampler)
+        if self.recorder is not None:
+            self.recorder.end(session.session_id)
         obs_gauge("ingest.sessions").set(n)
 
     @property

@@ -1,5 +1,7 @@
 """Tests for the command-line front end (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -66,3 +68,67 @@ class TestCommands:
         code = main(["report"])
         out, err = capsys.readouterr().out, capsys.readouterr().err
         assert code in (0, 1)
+
+
+class TestReplayCommand:
+    def test_replay_proves_bitwise_fidelity(self, capsys):
+        assert main(["replay", "--points", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "replay drill" in out
+        assert "bitwise-identical" in out
+        assert "MISMATCH" not in out
+
+    def test_replay_saves_a_loadable_record(self, capsys, tmp_path):
+        from repro.streams.replay import REPLAY_SCHEMA, SessionRecord
+
+        target = tmp_path / "drill.replay.jsonl"
+        assert main(
+            ["replay", "--points", "120", "--out", str(target)]
+        ) == 0
+        assert "record saved" in capsys.readouterr().out
+        record = SessionRecord.load(target)
+        assert record.header()["schema"] == REPLAY_SCHEMA
+        assert record.points >= 120
+        assert record.closed
+
+    def test_replay_rejects_bad_points(self, capsys):
+        assert main(["replay", "--points", "0"]) == 2
+        assert "--points" in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    def test_explain_prints_plan_and_provenance(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert "answer (live" in out
+        assert "provenance:" in out
+        payload = json.loads(out.split("provenance:\n", 1)[1])
+        assert payload["schema"] == "repro.provenance/v1"
+        assert payload["epoch"] == payload["current_epoch"] == 3
+
+    def test_explain_as_of_pins_the_epoch(self, capsys):
+        assert main(["explain", "--as-of", "1", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "as of epoch 1" in out
+        payload = json.loads(out.split("provenance:\n", 1)[1])
+        assert payload["epoch"] == 1
+        assert payload["current_epoch"] == 2
+
+    def test_explain_rejects_future_epoch(self, capsys):
+        assert main(["explain", "--as-of", "99"]) == 2
+        assert "--as-of" in capsys.readouterr().err
+
+    def test_as_of_answers_differ_from_live(self, capsys):
+        # Epoch 0 predates the demo history, so the pinned answer must
+        # differ from the live one (the inserts hit the query range).
+        assert main(["explain", "--as-of", "0"]) == 0
+        pinned = capsys.readouterr().out
+        assert main(["explain"]) == 0
+        live = capsys.readouterr().out
+
+        def answer(text):
+            return float(
+                text.split("answer (")[1].split(": ")[1].split()[0]
+            )
+
+        assert answer(pinned) != answer(live)
