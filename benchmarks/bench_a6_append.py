@@ -23,7 +23,7 @@ from repro.query.ingest import BatchInserter
 from repro.query.propolyne import ProPolyneEngine
 from repro.query.rangesum import RangeSumQuery
 
-from conftest import fmt_ms, format_table, safe_percentile
+from _util import fmt_ms, format_table, safe_percentile
 
 
 def run_study():

@@ -29,7 +29,7 @@ from repro.storage.device import StorageSpec
 from repro.storage.latency import LatencyModel
 from repro.wavelets.lazy import translation_cache
 
-from conftest import fmt_ms, format_table, safe_percentile
+from _util import fmt_ms, format_table, safe_percentile
 
 JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_concurrency.json"
 

@@ -30,7 +30,7 @@ from repro.query.rangesum import RangeSumQuery
 from repro.storage.device import StorageSpec
 from repro.storage.latency import LatencyModel
 
-from conftest import fmt_ms, format_table, safe_percentile
+from _util import fmt_ms, format_table, safe_percentile
 
 JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_sharding.json"
 

@@ -229,6 +229,127 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Murder-tier drill: routing, hot-tenant quotas, replica failover.
+
+    Stands up the multi-tenant cluster tier through the
+    ``AIMS.cluster()`` facade — stateless frontend, consistent-hash
+    ring, data-owning backends — populates tenant datasets, then
+    demonstrates the tier's properties in order: deterministic routing,
+    per-tenant quota isolation under a flooding tenant, and a
+    kill-primary drill in which replica promotion restores
+    bitwise-exact answers.  Exits 1 only if a post-failover answer
+    diverges from the healthy baseline.
+    """
+    from repro import AIMS, AIMSConfig
+    from repro.cluster import QuotaExceeded, TenantQuota, namespace_key
+    from repro.faults import CircuitBreaker, FaultPlan, RetryPolicy
+    from repro.obs import counter as obs_counter
+    from repro.obs import gauge as obs_gauge
+    from repro.query.rangesum import RangeSumQuery
+    from repro.storage.device import StorageSpec
+
+    if args.backends < 1:
+        print(f"--backends must be >= 1, got {args.backends}",
+              file=sys.stderr)
+        return 2
+    if args.quota < 1:
+        print(f"--quota must be >= 1, got {args.quota}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    n = 16
+    cube = _atmospheric_count_cube(rng, n)
+    queries = [
+        RangeSumQuery.count([(s, min(s + 5, n - 1)), (0, n - 1), (2, 13)])
+        for s in range(0, n, 2)
+    ]
+    tenants = [("acme", "gloves"), ("acme", "asl"),
+               ("globex", "atmosphere"), ("initech", "sessions")]
+    system = AIMS(AIMSConfig(shards=2, replicas=1))
+    with system.cluster(backends=args.backends) as frontend:
+        for tenant, dataset in tenants:
+            frontend.populate(tenant, dataset, cube)
+        keys = [namespace_key(t, d) for t, d in tenants]
+        spread = frontend.ring.spread(keys)
+        print(f"cluster drill: {args.backends} backend(s), "
+              f"{len(tenants)} namespaces, vnodes={frontend.ring.vnodes}")
+        for node_id in frontend.backends():
+            owned = [k for k in keys if frontend.ring.lookup(k) == node_id]
+            print(f"  {node_id:<12}: owns "
+                  f"{', '.join(owned) if owned else '(nothing yet)'}")
+
+        # Mixed workload: every namespace answers its exact queries.
+        futures = [
+            ((tenant, dataset), frontend.submit_exact(tenant, dataset, q))
+            for tenant, dataset in tenants for q in queries
+        ]
+        baseline: dict[tuple, list] = {}
+        for key, future in futures:
+            baseline.setdefault(key, []).append(future.result())
+        print(f"  workload      : {len(futures)} exact queries answered "
+              f"across {len(tenants)} namespaces")
+
+        # Hot tenant: flood one tenant past its quota.  Its excess is
+        # rejected at the frontend; bystanders keep being served.
+        frontend.populate("noisy", "flood", cube)
+        frontend.set_quota("noisy", TenantQuota(max_inflight=args.quota))
+        rejected = 0
+        flood = []
+        for _ in range(args.flood):
+            try:
+                flood.append(
+                    frontend.submit_batch("noisy", "flood", queries)
+                )
+            except QuotaExceeded:
+                rejected += 1
+        bystanders = [
+            frontend.submit_exact("acme", "gloves", q) for q in queries
+        ]
+        for future in bystanders:
+            future.result()
+        for future in flood:
+            future.result()
+        print(f"  hot tenant    : {rejected}/{args.flood} flood batches "
+              f"rejected at quota {args.quota}; {len(bystanders)} "
+              f"bystander queries still answered")
+
+        # Kill-primary drill: every primary read in the drill namespace
+        # fails, breakers trip, replicas are promoted — and the answers
+        # stay bitwise-exact (failover, not degradation).
+        drill_spec = StorageSpec(
+            shards=2,
+            replicas=1,
+            cache_blocks=4,
+            fault_plan=FaultPlan(seed=args.seed, read_error_rate=1.0),
+            fault_replicas=(0,),
+            retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                                     budget_s=0.0),
+            breaker=CircuitBreaker(failure_threshold=3,
+                                   recovery_timeout_s=60.0),
+        )
+        frontend.populate("ops", "drill", cube, storage=drill_spec)
+        before = obs_counter("replica.promotions").value
+        drilled = [
+            frontend.submit_exact("ops", "drill", q).result()
+            for q in queries
+        ]
+        promotions = obs_counter("replica.promotions").value - before
+        exact = drilled == baseline[("acme", "gloves")]
+        print(f"  kill-primary  : {promotions:.0f} promotion(s); "
+              f"answers bitwise-exact: {exact}")
+        print(f"  replica       : "
+              f"failovers={obs_counter('replica.failovers').value:.0f}, "
+              f"member read failures="
+              f"{obs_counter('replica.member_read_failures').value:.0f}, "
+              f"stale members="
+              f"{obs_gauge('replica.stale_members').value:.0f}")
+        print(f"  frontend      : "
+              f"routed={obs_counter('cluster.frontend.routed').value:.0f}, "
+              f"quota rejected="
+              f"{obs_counter('cluster.frontend.quota_rejected').value:.0f}")
+        return 0 if exact else 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Run a representative end-to-end pass and print the metrics report."""
     from repro import AIMS, AIMSConfig
@@ -591,6 +712,19 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="cache_blocks",
                        help="block-cache capacity (default 32)")
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="multi-tenant cluster drill: routing, quotas, failover",
+    )
+    cluster.add_argument("--backends", type=int, default=2,
+                         help="data-owning backend nodes (default 2)")
+    cluster.add_argument("--quota", type=int, default=4,
+                         help="flooding tenant's in-flight quota "
+                              "(default 4)")
+    cluster.add_argument("--flood", type=int, default=32,
+                         help="batches the flooding tenant submits "
+                              "(default 32)")
+
     replay = sub.add_parser(
         "replay",
         help="record a live ingest session and replay it bitwise-exactly",
@@ -653,6 +787,7 @@ _HANDLERS = {
     "asl": _cmd_asl,
     "olap": _cmd_olap,
     "chaos": _cmd_chaos,
+    "cluster": _cmd_cluster,
     "replay": _cmd_replay,
     "explain": _cmd_explain,
     "report": _cmd_report,

@@ -1,0 +1,31 @@
+"""The multi-tenant cluster tier: Murder-style frontends and backends.
+
+The Cyrus Murder aggregation architecture, transplanted: stateless
+frontends (:class:`~repro.cluster.frontend.ClusterFrontend`) route
+``(tenant, dataset)`` namespaces over a deterministic consistent-hash
+ring (:class:`~repro.cluster.ring.HashRing`) to data-owning backends
+(:class:`~repro.cluster.backend.BackendNode`), each of which runs one
+engine + query service + ingest service per namespace.  Per-tenant
+quotas and the namespace services' bounded queues give hot-tenant
+isolation; the storage tier's ``replicas=`` layer
+(:class:`~repro.storage.replication.ReplicatedDevice`) gives per-shard
+failover beneath it.
+"""
+
+from repro.cluster.backend import BackendNode
+from repro.cluster.frontend import (
+    ClusterFrontend,
+    QuotaExceeded,
+    TenantQuota,
+    namespace_key,
+)
+from repro.cluster.ring import HashRing
+
+__all__ = [
+    "BackendNode",
+    "ClusterFrontend",
+    "HashRing",
+    "QuotaExceeded",
+    "TenantQuota",
+    "namespace_key",
+]

@@ -1,0 +1,117 @@
+"""Consistent-hash ring: minimal-remapping namespace placement.
+
+The cluster tier's routing problem is the storage tier's placement
+problem one level up: map a ``tenant/dataset`` namespace to the backend
+that owns it, deterministically, from nothing but the key and the
+membership.  Plain modular placement (``hash % n``) would remap almost
+*every* key when a backend joins or leaves; the Murder architecture
+needs membership changes to disturb only the keys the changed node
+owns.  :class:`HashRing` is the classic fix — consistent hashing with
+virtual nodes:
+
+* every backend contributes ``vnodes`` points on a ``2**32`` ring,
+  hashed with the same audited :func:`~repro.storage.placement.stable_hash`
+  the sharded device places blocks with;
+* a key routes to the owner of the first ring point at or after its
+  own hash (wrapping at the top);
+* removing a backend deletes only *its* points, so exactly the keys in
+  its arcs remap (≈ ``keys/n``) and every other key keeps its home —
+  the property the ring's property tests pin down;
+* virtual nodes smooth the arc-length lottery: with dozens of points
+  per backend, per-backend load balances within a modest tolerance.
+
+Everything is deterministic — no RNG, no process state — so every
+frontend computes the identical routing table from the membership list
+alone (frontends stay stateless by construction).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Hashable, Iterable
+
+from repro.core.errors import AIMSError
+from repro.storage.placement import stable_hash
+
+__all__ = ["HashRing"]
+
+
+class HashRing:
+    """Consistent-hash ring over named backend nodes.
+
+    Args:
+        nodes: Initial backend identifiers (any hashables; typically
+            node-id strings).
+        vnodes: Ring points per backend.  More points → smoother
+            balance, linearly larger ring; 64 keeps worst-case skew
+            within ~2x of fair share for small clusters.
+    """
+
+    def __init__(
+        self, nodes: Iterable[Hashable] = (), vnodes: int = 64
+    ) -> None:
+        if vnodes < 1:
+            raise AIMSError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: set[Hashable] = set()
+        # Sorted ring points and a parallel hash list for bisect; a
+        # point-hash collision between nodes (possible in a 32-bit
+        # space, astronomically rare) is broken by repr order, so every
+        # frontend still computes the identical table.
+        self._points: list[tuple[int, Hashable]] = []
+        self._hashes: list[int] = []
+        for node in nodes:
+            self.add(node)
+
+    def _rebuild(self) -> None:
+        points = [
+            (stable_hash(("vnode", node, i)), node)
+            for node in self._nodes
+            for i in range(self.vnodes)
+        ]
+        points.sort(key=lambda p: (p[0], repr(p[1])))
+        self._points = points
+        self._hashes = [p[0] for p in points]
+
+    def add(self, node: Hashable) -> None:
+        """Add a backend's virtual nodes to the ring."""
+        if node in self._nodes:
+            raise AIMSError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        self._rebuild()
+
+    def remove(self, node: Hashable) -> None:
+        """Remove a backend; only keys in its arcs change owners."""
+        if node not in self._nodes:
+            raise AIMSError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        self._rebuild()
+
+    def lookup(self, key: Hashable) -> Hashable:
+        """The backend owning ``key`` (first ring point at or after the
+        key's hash, wrapping at the top of the ring)."""
+        if not self._points:
+            raise AIMSError("hash ring is empty; add a backend first")
+        i = bisect_left(self._hashes, stable_hash(key))
+        if i == len(self._points):
+            i = 0
+        return self._points[i][1]
+
+    def nodes(self) -> list:
+        """Current members, sorted by repr (deterministic)."""
+        return sorted(self._nodes, key=repr)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    def spread(self, keys: Iterable[Hashable]) -> dict:
+        """Owner → key-count histogram for a key population (the
+        balance diagnostic the property tests and ``aims cluster``
+        report)."""
+        out: dict = {node: 0 for node in self._nodes}
+        for key in keys:
+            out[self.lookup(key)] += 1
+        return out

@@ -64,6 +64,9 @@ class AIMSConfig:
             device stack's caching layer).
         shards: Number of storage shards each populated cube stripes
             its blocks across (1 = unsharded).
+        replicas: Replica members per shard on top of the primary
+            (0 = unreplicated); replicated shards heal primary outages
+            by failover instead of degraded answers.
     """
 
     sampler: str = "adaptive"
@@ -71,6 +74,7 @@ class AIMSConfig:
     block_size: int = 7
     pool_capacity: int | None = None
     shards: int = 1
+    replicas: int = 0
 
     def __post_init__(self) -> None:
         if self.sampler not in _SAMPLERS:
@@ -80,6 +84,10 @@ class AIMSConfig:
             )
         if self.shards < 1:
             raise AIMSError(f"shards must be >= 1, got {self.shards}")
+        if self.replicas < 0:
+            raise AIMSError(
+                f"replicas must be >= 0, got {self.replicas}"
+            )
 
 
 @dataclass(frozen=True)
@@ -229,6 +237,7 @@ class AIMS:
                 fault_plan=fault_plan,
                 retry_policy=retry_policy,
                 breaker=breaker,
+                replicas=self.config.replicas,
             )
         elif (fault_plan is not None or retry_policy is not None
                 or breaker is not None):
@@ -323,6 +332,68 @@ class AIMS:
                 f"configured with {saved_config.max_degree}"
             )
         return self.populate(name, cube)
+
+    # -- cluster tier ----------------------------------------------------------
+
+    def cluster(
+        self,
+        backends: int = 2,
+        workers: int = 2,
+        queue_depth: int = 64,
+        vnodes: int = 64,
+        default_quota=None,
+        storage_factory=None,
+        default_deadline_s: float | None = None,
+    ):
+        """Stand up a Murder-style cluster tier under this system.
+
+        Builds ``backends`` data-owning
+        :class:`~repro.cluster.backend.BackendNode`\\ s (ids
+        ``backend-0..n-1``) configured from this system's
+        ``max_degree`` / ``block_size``, and returns a stateless
+        :class:`~repro.cluster.frontend.ClusterFrontend` routing
+        ``(tenant, dataset)`` namespaces over them by consistent
+        hashing.  Per-namespace storage defaults to the config's
+        ``shards`` / ``pool_capacity`` / ``replicas`` via a fresh spec
+        per namespace (stateful spec members are never shared);
+        ``storage_factory`` overrides that.
+
+        The caller owns the frontend's lifecycle: ``close()`` (or a
+        ``with`` block) tears down every backend.
+        """
+        from repro.cluster.backend import BackendNode
+        from repro.cluster.frontend import ClusterFrontend
+
+        if backends < 1:
+            raise AIMSError(f"backends must be >= 1, got {backends}")
+        if storage_factory is None:
+            from repro.storage.device import StorageSpec
+
+            config = self.config
+
+            def storage_factory() -> StorageSpec:
+                return StorageSpec(
+                    shards=config.shards,
+                    cache_blocks=config.pool_capacity,
+                    replicas=config.replicas,
+                )
+
+        nodes = [
+            BackendNode(
+                f"backend-{i}",
+                workers=workers,
+                queue_depth=queue_depth,
+                max_degree=self.config.max_degree,
+                block_size=self.config.block_size,
+                storage_factory=storage_factory,
+                default_deadline_s=default_deadline_s,
+            )
+            for i in range(backends)
+        ]
+        obs_counter("cluster.frontend.created").inc()
+        return ClusterFrontend(
+            nodes, vnodes=vnodes, default_quota=default_quota
+        )
 
     # -- online query ----------------------------------------------------------
 

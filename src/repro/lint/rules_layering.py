@@ -15,6 +15,11 @@ These encode the contracts ``docs/ARCHITECTURE.md`` states in prose
 * ``layering-codec-containment`` — CRC framing is
   :class:`CrcFramedDevice`'s business; consumers above the stack see
   payload dictionaries, never byte frames.
+* ``layering-cluster-boundary`` — the cluster tier's frontends stay
+  stateless *by construction*: engines, query/ingest services and
+  backend nodes are built only inside :mod:`repro.cluster.backend` and
+  the facade, never in :mod:`repro.cluster.frontend` (or the ring) —
+  so any frontend can be added or killed without touching data.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import Iterable
 from repro.lint.engine import BaseRule, FileContext, Finding, register
 
 __all__ = [
+    "ClusterBoundaryRule",
     "CodecContainmentRule",
     "ImportBoundaryRule",
     "MiddlewareConstructionRule",
@@ -40,6 +46,7 @@ MIDDLEWARE_CONSTRUCTORS = frozenset(
         "ResilientDevice",
         "FaultyDevice",
         "ShardedDevice",
+        "ReplicatedDevice",
         "FaultyDisk",
     }
 )
@@ -49,9 +56,43 @@ DEVICE_MODULES = frozenset(
     {
         "repro.storage.device",
         "repro.storage.sharding",
+        "repro.storage.replication",
         "repro.faults.plan",
         # The FaultyDisk deprecation shim wraps one FaultyDevice.
         "repro.faults",
+    }
+)
+
+#: Stateful data-path constructors the cluster tier may only wire in
+#: its data-owning backend module (and that the facade composes).
+STATEFUL_CONSTRUCTORS = frozenset(
+    {
+        "ProPolyneEngine",
+        "QueryService",
+        "IngestService",
+        "BatchInserter",
+        "TensorBlockStore",
+        "BackendNode",
+    }
+)
+
+#: Cluster modules that must stay stateless: routing and quota logic
+#: only, no engines, services or backend construction.
+STATELESS_CLUSTER_MODULES = frozenset(
+    {
+        "repro.cluster.frontend",
+        "repro.cluster.ring",
+    }
+)
+
+#: Modules allowed to construct BackendNode instances: the tier's own
+#: package surface and the facade that exposes ``AIMS.cluster()``
+#: (the CLI goes through the facade).
+BACKEND_BUILDERS = frozenset(
+    {
+        "repro.cluster",
+        "repro.cluster.backend",
+        "repro.core.aims",
     }
 )
 
@@ -162,6 +203,44 @@ class ImportBoundaryRule(BaseRule):
                         node,
                         f"{ctx.module} imports {target}: {why}",
                     )
+
+
+@register
+class ClusterBoundaryRule(BaseRule):
+    rule_id = "layering-cluster-boundary"
+    severity = "error"
+    description = (
+        "cluster frontends stay stateless by construction: engines, "
+        "query/ingest services and BackendNodes are built only in "
+        "repro.cluster.backend and the facade"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield every violation of this rule in one file."""
+        if not ctx.in_package("repro"):
+            return
+        stateless = ctx.module in STATELESS_CLUSTER_MODULES
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name == "BackendNode":
+                if ctx.module not in BACKEND_BUILDERS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"BackendNode constructed in {ctx.module}; "
+                        f"backends are built by repro.cluster.backend "
+                        f"or the AIMS facade",
+                    )
+            elif stateless and name in STATEFUL_CONSTRUCTORS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name} constructed in stateless cluster module "
+                    f"{ctx.module}; all data-owning state lives in "
+                    f"repro.cluster.backend",
+                )
 
 
 @register

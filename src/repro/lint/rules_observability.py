@@ -49,6 +49,8 @@ ALWAYS_COVERED = frozenset(
         "SessionRecorder",
         "SessionReplayer",
         "EpochLog",
+        "BackendNode",
+        "ClusterFrontend",
     }
 )
 

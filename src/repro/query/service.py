@@ -88,12 +88,19 @@ class ScanCoordinator:
     — that is the caching device's job — so the coordinator adds no
     state beyond the currently in-flight reads.
 
-    Shard awareness: flights are keyed on ``(shard, block_id)`` — the
-    store's ``shard_of`` placement when it has one — so the
-    coordinator's bookkeeping mirrors the storage topology and
+    Shard awareness: flights are keyed on ``(namespace, shard,
+    block_id)`` — the store's ``shard_of`` placement when it has one —
+    so the coordinator's bookkeeping mirrors the storage topology and
     per-shard fetch counts fall out for free (``fetches_by_shard``).
     Placement is deterministic, so the key stays one-to-one with the
     block id and the dedup semantics are unchanged.
+
+    Namespace isolation: ``namespace`` (the cluster tier's
+    ``tenant/dataset`` routing key, ``None`` for a single-tenant
+    service) is part of the flight key, so two tenants whose datasets
+    happen to reuse block ids never share a single-flight read — one
+    tenant's in-flight failure must not propagate into another's
+    answer, and payloads from different namespaces are different data.
 
     Attributes:
         fetches: Block reads this coordinator issued to the store.
@@ -102,11 +109,12 @@ class ScanCoordinator:
         fetches_by_shard: Issued reads per shard index.
     """
 
-    def __init__(self, store) -> None:
+    def __init__(self, store, namespace: str | None = None) -> None:
         self._store = store
+        self.namespace = namespace
         self._shard_of = getattr(store, "shard_of", None) or (lambda b: 0)
         self._lock = watched_lock("query.scan")
-        self._inflight: dict[tuple[int, Hashable], _Flight] = {}
+        self._inflight: dict[tuple, _Flight] = {}
         self.fetches = 0
         self.shared = 0
         self.fetches_by_shard: dict[int, int] = {}
@@ -114,7 +122,7 @@ class ScanCoordinator:
     def fetch_block(self, block_id: Hashable) -> dict:
         """Fetch one block, deduplicating against in-flight reads."""
         shard = self._shard_of(block_id)
-        key = (shard, block_id)
+        key = (self.namespace, shard, block_id)
         with self._lock:
             flight = self._inflight.get(key)
             leader = flight is None
@@ -158,11 +166,11 @@ class ScanCoordinator:
         queries' flights.
         """
         ids = list(dict.fromkeys(block_ids))
-        fresh: list[tuple[Hashable, tuple[int, Hashable], _Flight]] = []
+        fresh: list[tuple[Hashable, tuple, _Flight]] = []
         waits: list[tuple[Hashable, _Flight]] = []
         with self._lock:
             for block_id in ids:
-                key = (self._shard_of(block_id), block_id)
+                key = (self.namespace, self._shard_of(block_id), block_id)
                 flight = self._inflight.get(key)
                 if flight is None:
                     flight = self._inflight[key] = _Flight()
@@ -187,8 +195,8 @@ class ScanCoordinator:
                     for block_id, key, flight in fresh:
                         self._inflight.pop(key, None)
                         self.fetches += 1
-                        self.fetches_by_shard[key[0]] = (
-                            self.fetches_by_shard.get(key[0], 0) + 1
+                        self.fetches_by_shard[key[1]] = (
+                            self.fetches_by_shard.get(key[1], 0) + 1
                         )
                 for _, _, flight in fresh:
                     flight.event.set()
@@ -224,9 +232,16 @@ class SharedScanStore:
     Mutating operations must go to the underlying store directly.
     """
 
-    def __init__(self, store, coordinator: ScanCoordinator | None = None) -> None:
+    def __init__(
+        self,
+        store,
+        coordinator: ScanCoordinator | None = None,
+        namespace: str | None = None,
+    ) -> None:
         self._store = store
-        self.coordinator = coordinator or ScanCoordinator(store)
+        self.coordinator = coordinator or ScanCoordinator(
+            store, namespace=namespace
+        )
 
     def __getattr__(self, name: str):
         return getattr(self._store, name)
@@ -263,16 +278,20 @@ class SharedScanStore:
             ) from exc
 
 
-def shared_scan_view(engine: ProPolyneEngine) -> ProPolyneEngine:
+def shared_scan_view(
+    engine: ProPolyneEngine, namespace: str | None = None
+) -> ProPolyneEngine:
     """A shallow engine view whose storage reads are single-flighted.
 
     The view shares every populated structure (coefficients on disk,
     block norms, filter, levels) with ``engine``; only ``store`` is
     replaced by a :class:`SharedScanStore`.  Use it for concurrent
     *read* traffic; route updates (``insert``) to the original engine.
+    ``namespace`` scopes the coordinator's flight keys (the cluster
+    tier passes its ``tenant/dataset`` routing key).
     """
     view = copy.copy(engine)
-    view.store = SharedScanStore(engine.store)
+    view.store = SharedScanStore(engine.store, namespace=namespace)
     return view
 
 
@@ -370,6 +389,10 @@ class QueryService:
             :class:`~repro.storage.device.StorageSpec` (no fault plan /
             retries / breaker); progressive and degradable queries stay
             on the threads either way.
+        namespace: Optional scan-coordination namespace (the cluster
+            tier's ``tenant/dataset`` routing key) scoping this
+            service's single-flight keys, so co-located tenants never
+            share in-flight reads.
 
     Metrics: ``query.service.submitted`` / ``completed`` / ``rejected``
     / ``degraded`` counters, a ``query.service.queue_depth`` gauge, the
@@ -387,6 +410,7 @@ class QueryService:
         share_scans: bool = True,
         default_deadline_s: float | None = None,
         execution_mode: str = "thread",
+        namespace: str | None = None,
     ) -> None:
         if workers < 1:
             raise QueryError(f"worker count must be >= 1, got {workers}")
@@ -399,7 +423,12 @@ class QueryService:
                 f"unknown execution mode {execution_mode!r}; "
                 f"use 'thread' or 'process'"
             )
-        self.engine = shared_scan_view(engine) if share_scans else engine
+        self.namespace = namespace
+        self.engine = (
+            shared_scan_view(engine, namespace=namespace)
+            if share_scans
+            else engine
+        )
         self.coordinator = (
             self.engine.store.coordinator if share_scans else None
         )

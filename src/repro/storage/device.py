@@ -585,8 +585,13 @@ class ResilientDevice(DeviceLayer):
 
 
 #: Canonical outermost-to-innermost layer order; every valid stack is a
-#: subsequence ending in ``disk``.
-CANONICAL_ORDER = ("metered", "resilient", "caching", "crc", "faulty", "disk")
+#: subsequence ending in ``disk``.  ``replicated`` sits *outside*
+#: ``resilient``: each member carries its own retry/breaker sub-stack,
+#: so the replication layer sees a member's exhaustion as one typed
+#: ``StorageUnavailable`` and fails over instead of retrying blindly.
+CANONICAL_ORDER = (
+    "metered", "replicated", "resilient", "caching", "crc", "faulty", "disk"
+)
 
 
 def _build_faulty(inner, options: dict):
@@ -610,6 +615,13 @@ class DeviceStack:
     Layer options:
 
     * ``metered`` — ``prefix`` (default ``"storage.device"``);
+    * ``replicated`` — ``replicas`` (required, >= 1: replica count on
+      top of the primary) and optional ``member_overrides`` (one dict
+      per member mapping layer kind to option overrides for that
+      member's sub-stack).  Every layer *below* ``replicated`` is built
+      once per member; without explicit overrides, members past the
+      primary get derived breakers / fault plans / latency models so
+      they never share stateful middleware;
     * ``resilient`` — ``retry_policy``, ``breaker``;
     * ``caching`` — ``capacity`` (required);
     * ``crc`` — none;
@@ -637,6 +649,9 @@ class DeviceStack:
         self.layers = normalized
         self._validate()
         self._built: dict[str, object] = {}
+        #: Per-member ``_built`` maps when a ``replicated`` layer is
+        #: present (member 0 first); empty otherwise.
+        self._member_built: list[dict] = []
         self.device = None
 
     def _validate(self) -> None:
@@ -661,16 +676,11 @@ class DeviceStack:
         """Outermost-to-innermost layer kinds of this stack."""
         return [kind for kind, _ in self.layers]
 
-    def build(self):
-        """Construct the stack and return its outermost device.
-
-        Idempotent: a second call returns the same instances.  Layer
-        handles stay available through :meth:`layer`.
-        """
-        if self.device is not None:
-            return self.device
-        device = None
-        for kind, options in reversed(self.layers):
+    def _build_chain(self, layers, built: dict, base=None):
+        """Build an outermost-to-innermost layer list on top of ``base``
+        (or down to a fresh disk leaf), recording instances in ``built``."""
+        device = base
+        for kind, options in reversed(layers):
             if kind == "disk":
                 if "block_size" not in options:
                     raise StorageError("disk layer needs a block_size")
@@ -681,48 +691,147 @@ class DeviceStack:
                     block_size=options["block_size"],
                     latency=latency,
                 )
-                self._built["disk"] = device
+                built["disk"] = device
                 if options.get("metered", True):
                     device = MeteredDevice(device, prefix="storage.disk")
-                    self._built["disk_meter"] = device
+                    built["disk_meter"] = device
             elif kind == "faulty":
                 device = _build_faulty(device, options)
-                self._built["faulty"] = device
+                built["faulty"] = device
             elif kind == "crc":
                 device = CrcFramedDevice(device)
-                self._built["crc"] = device
+                built["crc"] = device
             elif kind == "caching":
                 if "capacity" not in options:
                     raise StorageError("caching layer needs a capacity")
                 device = CachingDevice(device, capacity=options["capacity"])
-                self._built["caching"] = device
+                built["caching"] = device
             elif kind == "resilient":
                 device = ResilientDevice(
                     device,
                     retry_policy=options.get("retry_policy"),
                     breaker=options.get("breaker"),
                 )
-                self._built["resilient"] = device
+                built["resilient"] = device
             elif kind == "metered":
                 device = MeteredDevice(
                     device, prefix=options.get("prefix", "storage.device")
                 )
-                self._built["metered"] = device
-        self.device = device
+                built["metered"] = device
         return device
 
+    @staticmethod
+    def _member_layers(tail, member: int, overrides) -> list:
+        """One member's sub-stack layers: the shared tail with this
+        member's option overrides applied.
+
+        Without explicit overrides, members past the primary derive
+        fresh stateful middleware (breaker clone, shifted fault plan,
+        shifted latency seed) — replica members must fail independently,
+        so they never share failure streaks, RNG draws or spike
+        schedules with the primary.
+        """
+        out = []
+        for kind, options in tail:
+            opts = dict(options)
+            if overrides is not None:
+                opts.update(overrides[member].get(kind, {}))
+            elif member > 0:
+                if kind == "resilient" and opts.get("breaker") is not None:
+                    opts["breaker"] = _clone_breaker(opts["breaker"], member)
+                if kind == "faulty" and opts.get("plan") is not None:
+                    opts["plan"] = _derive_plan(opts["plan"], member)
+                if kind == "disk" and opts.get("latency") is not None:
+                    opts["latency"] = opts["latency"].derive(member)
+            out.append((kind, opts))
+        return out
+
+    def build(self):
+        """Construct the stack and return its outermost device.
+
+        Idempotent: a second call returns the same instances.  Layer
+        handles stay available through :meth:`layer`.  With a
+        ``replicated`` layer, every layer below it is built once per
+        member (``replicas + 1`` independent sub-stacks) and wrapped in
+        a :class:`~repro.storage.replication.ReplicatedDevice`.
+        """
+        if self.device is not None:
+            return self.device
+        kinds = self.kinds()
+        if "replicated" not in kinds:
+            self.device = self._build_chain(self.layers, self._built)
+            return self.device
+        split = kinds.index("replicated")
+        head = self.layers[:split]
+        _, ropts = self.layers[split]
+        tail = self.layers[split + 1:]
+        replicas = ropts.get("replicas")
+        if not isinstance(replicas, int) or replicas < 1:
+            raise StorageError(
+                f"replicated layer needs replicas >= 1, got {replicas!r}"
+            )
+        overrides = ropts.get("member_overrides")
+        n_members = replicas + 1
+        if overrides is not None and len(overrides) != n_members:
+            raise StorageError(
+                f"{len(overrides)} member_overrides for "
+                f"{n_members} members"
+            )
+        from repro.storage.replication import ReplicatedDevice
+
+        members, breakers = [], []
+        for member in range(n_members):
+            built: dict = {}
+            members.append(self._build_chain(
+                self._member_layers(tail, member, overrides), built
+            ))
+            resilient = built.get("resilient")
+            breakers.append(
+                resilient.breaker if resilient is not None else None
+            )
+            self._member_built.append(built)
+            if member == 0:
+                # layer() answers with the primary member's instances.
+                self._built.update(built)
+        device = ReplicatedDevice(members, breakers=breakers)
+        self._built["replicated"] = device
+        self.device = self._build_chain(head, self._built, base=device)
+        return self.device
+
     def layer(self, kind: str):
-        """The built layer instance of a kind (None when absent)."""
+        """The built layer instance of a kind (None when absent; for a
+        replicated stack, tail kinds answer with member 0's instance)."""
         if self.device is None:
             self.build()
         return self._built.get(kind)
 
+    def resilient_breakers(self) -> list:
+        """Every breaker this stack carries, member order (member 0
+        first); a single-element list for non-replicated stacks and
+        empty when no resilient layer/breaker is configured."""
+        if self.device is None:
+            self.build()
+        if self._member_built:
+            return [
+                built["resilient"].breaker
+                for built in self._member_built
+                if built.get("resilient") is not None
+                and built["resilient"].breaker is not None
+            ]
+        resilient = self._built.get("resilient")
+        if resilient is not None and resilient.breaker is not None:
+            return [resilient.breaker]
+        return []
+
     def set_injecting(self, flag: bool) -> None:
-        """Toggle fault injection on this stack's faulty layer (no-op
-        when the stack has none)."""
-        faulty = self.layer("faulty")
-        if faulty is not None:
-            faulty.injecting = bool(flag)
+        """Toggle fault injection on this stack's faulty layer(s) —
+        every replica member's, when replicated (no-op without one)."""
+        if self.device is None:
+            self.build()
+        for built in (self._member_built or [self._built]):
+            faulty = built.get("faulty")
+            if faulty is not None:
+                faulty.injecting = bool(flag)
 
 
 def _clone_breaker(breaker, shard: int):
@@ -772,14 +881,29 @@ class BuiltStorage:
 
     @property
     def breakers(self) -> list:
-        """Per-shard circuit breakers, in shard order (empty when no
-        resilient layer is configured)."""
+        """Circuit breakers in shard-major, member-minor order (empty
+        when no resilient layer is configured).  Without replication
+        this is exactly one breaker per shard, in shard order."""
         out = []
         for stack in self.stacks:
-            layer = stack.layer("resilient")
-            if layer is not None and layer.breaker is not None:
-                out.append(layer.breaker)
+            out.extend(stack.resilient_breakers())
         return out
+
+    @property
+    def replica_groups(self) -> list:
+        """Per-shard :class:`~repro.storage.replication.ReplicatedDevice`
+        handles, in shard order (empty when the spec has no replicas)."""
+        out = []
+        for stack in self.stacks:
+            group = stack.layer("replicated")
+            if group is not None:
+                out.append(group)
+        return out
+
+    def resync_replicas(self) -> int:
+        """Resync every shard's stale replica members from its primary;
+        returns the total number of members restored."""
+        return sum(group.resync() for group in self.replica_groups)
 
     def shard_of(self, block_id: Hashable) -> int:
         """Shard index a block id is placed on (0 when unsharded)."""
@@ -816,15 +940,16 @@ class StorageSpec:
         cache_blocks: Total cached blocks across the stack (split
             evenly over shards); ``None`` disables caching.
         fault_plan: Optional :class:`~repro.faults.plan.FaultPlan`
-            template.  With multiple fault shards each gets an
+            template.  With multiple fault targets each gets an
             independently-seeded derived plan.
         retry_policy: Optional :class:`~repro.faults.retry.RetryPolicy`
             (stateless — shared across shards).
         breaker: Optional :class:`~repro.faults.breaker.CircuitBreaker`
-            template; sharded stacks clone it per shard so one failed
-            shard trips only its own breaker.
+            template; sharded/replicated stacks clone it per shard and
+            per replica member so one failed device trips only its own
+            breaker.
         latency: Optional :class:`~repro.storage.latency.LatencyModel`
-            template for the leaf devices (derived per shard).
+            template for the leaf devices (derived per shard/member).
         crc: Force CRC framing on/off; ``None`` enables it exactly when
             a fault plan is present.
         metered: Emit ``storage.disk.*`` / ``storage.device.*`` metrics.
@@ -832,6 +957,13 @@ class StorageSpec:
             reads (default ``min(shards, 8)``).
         fault_shards: Restrict fault injection to these shard indices
             (``None`` = all shards).
+        replicas: Replica members per shard on top of the primary
+            (0 = unreplicated).  Each member is a full independent
+            sub-stack kept in sync by a
+            :class:`~repro.storage.replication.ReplicatedDevice`.
+        fault_replicas: Restrict fault injection to these member
+            indices within each faulted shard (``None`` = all members;
+            ``(0,)`` kills only primaries — the failover drill).
     """
 
     shards: int = 1
@@ -844,6 +976,8 @@ class StorageSpec:
     metered: bool = True
     fanout_workers: int | None = None
     fault_shards: tuple[int, ...] | None = None
+    replicas: int = 0
+    fault_replicas: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -859,6 +993,18 @@ class StorageSpec:
                 raise StorageError(
                     f"fault_shards {bad} outside [0, {self.shards})"
                 )
+        if self.replicas < 0:
+            raise StorageError(
+                f"replicas must be >= 0, got {self.replicas}"
+            )
+        if self.fault_replicas is not None:
+            bad = [m for m in self.fault_replicas
+                   if not 0 <= m < self.replicas + 1]
+            if bad:
+                raise StorageError(
+                    f"fault_replicas {bad} outside "
+                    f"[0, {self.replicas + 1})"
+                )
 
     def crc_enabled(self) -> bool:
         """Whether the stack frames payloads through the CRC codec."""
@@ -868,10 +1014,19 @@ class StorageSpec:
 
     def _shard_layers(self, block_size: int, shard: int) -> list:
         """Canonical layer list for one shard's sub-stack (no outer
-        meter — that wraps the fan-out layer, when sharded)."""
+        meter — that wraps the fan-out layer, when sharded).  With
+        replicas, a ``replicated`` layer heads the sub-stack and every
+        layer below it is instantiated per member with the overrides
+        :meth:`_member_overrides` derives."""
         layers: list = []
         if self.shards == 1 and self.metered:
             layers.append(("metered", {"prefix": "storage.device"}))
+        if self.replicas:
+            layers.append(
+                ("replicated",
+                 {"replicas": self.replicas,
+                  "member_overrides": self._member_overrides(shard)})
+            )
         if self.retry_policy is not None or self.breaker is not None:
             breaker = self.breaker
             if breaker is not None and self.shards > 1:
@@ -885,8 +1040,8 @@ class StorageSpec:
             layers.append(("caching", {"capacity": max(1, per_shard)}))
         if self.crc_enabled():
             layers.append(("crc", {}))
-        plan = self._shard_plan(shard)
-        if plan is not None:
+        plan = self._member_plan(shard, 0)
+        if plan is not None or self._shard_faulted(shard):
             layers.append(("faulty", {"plan": plan}))
         latency = self.latency
         if latency is not None and self.shards > 1:
@@ -897,22 +1052,75 @@ class StorageSpec:
         )
         return layers
 
-    def _shard_plan(self, shard: int):
+    def _shard_faulted(self, shard: int) -> bool:
+        """Whether any member of this shard carries a fault plan (the
+        faulty layer is kept in the shared sub-stack shape so member
+        overrides can target individual members)."""
         if self.fault_plan is None:
-            return None
+            return False
         targets = (
             set(self.fault_shards)
             if self.fault_shards is not None
             else set(range(self.shards))
         )
-        if shard not in targets:
+        return shard in targets
+
+    def _member_plan(self, shard: int, member: int):
+        """The fault plan for one (shard, member) sub-stack, or None.
+
+        A single targeted device keeps the caller's plan instance, so
+        its seeded history replays exactly; multiple targets get
+        independently-seeded derived plans (collision-free across the
+        shard × member grid).  With ``replicas=0`` this reduces
+        byte-for-byte to the per-shard rule the sharded stack has used
+        since PR 4.
+        """
+        if not self._shard_faulted(shard):
             return None
-        # A single target shard (or an unsharded stack) keeps the
-        # caller's plan instance, so its seeded history replays exactly;
-        # multiple targets get independently-seeded derived plans.
-        if len(targets) == 1 or self.shards == 1:
+        n_members = self.replicas + 1
+        members = (
+            set(self.fault_replicas)
+            if self.fault_replicas is not None
+            else set(range(n_members))
+        )
+        if member not in members:
+            return None
+        target_shards = (
+            set(self.fault_shards)
+            if self.fault_shards is not None
+            else set(range(self.shards))
+        )
+        if len(target_shards) * len(members) == 1:
             return self.fault_plan
-        return _derive_plan(self.fault_plan, shard)
+        return _derive_plan(self.fault_plan, shard + self.shards * member)
+
+    def _member_overrides(self, shard: int) -> list[dict]:
+        """Per-member option overrides for one shard's replicated
+        sub-stack: member 0 keeps the shared tail's instances, members
+        past it get cloned breakers, per-member fault plans and shifted
+        latency seeds — stateful middleware is never shared between
+        members."""
+        n_members = self.replicas + 1
+        overrides: list[dict] = []
+        for member in range(n_members):
+            entry: dict = {}
+            if member > 0:
+                if self.breaker is not None:
+                    entry["resilient"] = {
+                        "breaker": _clone_breaker(
+                            self.breaker, shard + self.shards * member
+                        )
+                    }
+                if self.latency is not None:
+                    entry["disk"] = {
+                        "latency": self.latency.derive(
+                            shard + self.shards * member
+                        )
+                    }
+            if self._shard_faulted(shard):
+                entry["faulty"] = {"plan": self._member_plan(shard, member)}
+            overrides.append(entry)
+        return overrides
 
     def build(self, block_size: int) -> BuiltStorage:
         """Build the device stack(s) for a given leaf block size."""

@@ -1,0 +1,46 @@
+"""The one audited placement hash for every partitioning decision.
+
+Two layers of the system place keys onto homes: the storage tier
+stripes block ids over shards (:class:`~repro.storage.sharding.ShardedDevice`)
+and the cluster tier routes ``(tenant, dataset)`` namespaces onto
+backends (:class:`~repro.cluster.ring.HashRing`).  Both reduce to the
+same primitive — a deterministic, process-independent hash of an
+arbitrary hashable key — and before this module each grew its own copy.
+
+:func:`stable_hash` is that primitive: ``crc32(repr(key))``.  ``repr``
+gives a stable byte encoding for every hashable id the stores use
+(ints, index tuples, strings) without depending on Python's per-process
+hash randomization, and CRC32 is cheap, seedless and identical on every
+platform.  :func:`place` is the modular placement the sharded device
+has used since PR 4 — kept byte-for-byte stable here, which the
+placement tests pin down.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable
+
+__all__ = ["place", "stable_hash"]
+
+#: CRC32 output space: placements and ring points live in [0, 2**32).
+HASH_SPACE = 1 << 32
+
+
+def stable_hash(key: Hashable) -> int:
+    """Deterministic 32-bit hash of any hashable key.
+
+    ``crc32(repr(key))`` — stable across processes, platforms and runs
+    (no ``PYTHONHASHSEED`` dependence), uniform enough for placement.
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+def place(block_id: Hashable, n_shards: int) -> int:
+    """Deterministic shard placement: ``crc32(repr(block_id)) mod N``.
+
+    The exact placement :class:`~repro.storage.sharding.ShardedDevice`
+    has always used; moving it here must never change where a block
+    lands (the byte-stability test fixes known placements).
+    """
+    return stable_hash(block_id) % n_shards

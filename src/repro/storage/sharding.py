@@ -23,26 +23,18 @@ shards still answer — surfaced through the query layer's
 
 from __future__ import annotations
 
-import zlib
 from concurrent.futures import ThreadPoolExecutor
 from typing import Hashable, Iterable
 
 from repro.core.errors import StorageError
 from repro.lint.lockwatch import watched_lock
 from repro.storage.disk import IOStats
+from repro.storage.placement import place
 from repro.storage.scheduler import coalesce_by_shard
 
+# ``place`` lives in :mod:`repro.storage.placement` now (shared with the
+# cluster tier's HashRing) and is re-exported here for compatibility.
 __all__ = ["ShardedDevice", "place"]
-
-
-def place(block_id: Hashable, n_shards: int) -> int:
-    """Deterministic shard placement: ``crc32(repr(block_id)) mod N``.
-
-    ``repr`` gives a stable byte encoding for every hashable id the
-    stores use (ints, index tuples, strings) without depending on
-    Python's per-process hash randomization.
-    """
-    return zlib.crc32(repr(block_id).encode("utf-8")) % n_shards
 
 
 class ShardedDevice:  # lint: ignore[obs-coverage] — pure fan-out; StorageSpec wraps it in a storage.device MeteredDevice

@@ -1,0 +1,101 @@
+"""Property tests for the consistent-hash ring.
+
+Three properties make :class:`~repro.cluster.ring.HashRing` fit for
+routing: lookups are deterministic functions of membership alone (any
+frontend computes the same table), membership changes remap only the
+changed node's keys (the consistent-hashing contract), and virtual
+nodes keep per-backend load within a modest tolerance of fair share.
+"""
+
+import pytest
+
+from repro.cluster.ring import HashRing
+from repro.core.errors import AIMSError
+
+KEYS = [f"tenant-{t}/dataset-{d}" for t in range(40) for d in range(25)]
+
+
+def table(ring, keys=KEYS):
+    return {key: ring.lookup(key) for key in keys}
+
+
+class TestDeterminism:
+    def test_lookup_is_a_pure_function_of_membership(self):
+        a = HashRing(["b0", "b1", "b2"], vnodes=64)
+        b = HashRing(["b2", "b0", "b1"], vnodes=64)  # insertion order differs
+        assert table(a) == table(b)
+
+    def test_repeated_lookups_are_stable(self):
+        ring = HashRing(["b0", "b1"], vnodes=64)
+        first = table(ring)
+        assert table(ring) == first
+
+    def test_membership_bookkeeping(self):
+        ring = HashRing(["b0", "b1"], vnodes=8)
+        assert len(ring) == 2
+        assert "b0" in ring and "b9" not in ring
+        assert ring.nodes() == ["b0", "b1"]
+
+    def test_duplicate_and_missing_nodes_rejected(self):
+        ring = HashRing(["b0"], vnodes=8)
+        with pytest.raises(AIMSError):
+            ring.add("b0")
+        with pytest.raises(AIMSError):
+            ring.remove("b9")
+
+    def test_empty_ring_refuses_lookups(self):
+        with pytest.raises(AIMSError):
+            HashRing(vnodes=8).lookup("k")
+        with pytest.raises(AIMSError):
+            HashRing(vnodes=0)
+
+
+class TestMinimalRemapping:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_removal_moves_exactly_the_removed_nodes_keys(self, n):
+        nodes = [f"b{i}" for i in range(n)]
+        ring = HashRing(nodes, vnodes=128)
+        before = table(ring)
+        victim = nodes[0]
+        ring.remove(victim)
+        after = table(ring)
+        moved = {k for k in KEYS if before[k] != after[k]}
+        owned = {k for k in KEYS if before[k] == victim}
+        # Consistent hashing's defining property, exactly: the keys
+        # that move are precisely the keys the removed node owned.
+        assert moved == owned
+        assert len(moved) <= 1.5 * len(KEYS) / n
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_addition_is_the_inverse_of_removal(self, n):
+        nodes = [f"b{i}" for i in range(n)]
+        ring = HashRing(nodes, vnodes=128)
+        before = table(ring)
+        ring.remove(nodes[0])
+        ring.add(nodes[0])
+        assert table(ring) == before
+
+    def test_join_moves_only_keys_to_the_new_node(self):
+        ring = HashRing(["b0", "b1", "b2"], vnodes=128)
+        before = table(ring)
+        ring.add("b3")
+        after = table(ring)
+        for key in KEYS:
+            if before[key] != after[key]:
+                assert after[key] == "b3"
+
+
+class TestBalance:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_vnodes_keep_load_within_tolerance(self, n):
+        nodes = [f"b{i}" for i in range(n)]
+        ring = HashRing(nodes, vnodes=128)
+        spread = ring.spread(KEYS)
+        assert sum(spread.values()) == len(KEYS)
+        fair = len(KEYS) / n
+        for node, count in spread.items():
+            assert 0.6 * fair <= count <= 1.6 * fair, (node, count, fair)
+
+    def test_spread_covers_every_member(self):
+        ring = HashRing(["b0", "b1", "b2"], vnodes=128)
+        assert set(ring.spread(KEYS)) == {"b0", "b1", "b2"}

@@ -32,6 +32,7 @@ class TestEngine:
             "layering-middleware-construction",
             "layering-import-boundary",
             "layering-codec-containment",
+            "layering-cluster-boundary",
             "lock-no-blocking",
             "lock-with-only",
             "lock-naming",
@@ -175,6 +176,55 @@ class TestLayeringRules:
         assert findings_for(
             source, "src/repro/storage/device.py",
             "layering-codec-containment",
+        ) == []
+
+
+class TestClusterBoundaryRule:
+    def test_backend_node_outside_builders_flagged(self):
+        source = "node = BackendNode('backend-0')\n"
+        (finding,) = findings_for(
+            source, "src/repro/cli.py", "layering-cluster-boundary"
+        )
+        assert "BackendNode" in finding.message
+
+    def test_backend_builders_may_construct(self):
+        source = "node = BackendNode('backend-0')\n"
+        for path in (
+            "src/repro/cluster/backend.py",
+            "src/repro/cluster/__init__.py",
+            "src/repro/core/aims.py",
+        ):
+            assert findings_for(
+                source, path, "layering-cluster-boundary"
+            ) == [], path
+
+    def test_stateful_constructors_in_frontend_flagged(self):
+        for name in (
+            "ProPolyneEngine", "QueryService", "IngestService",
+            "BatchInserter", "TensorBlockStore",
+        ):
+            source = f"x = {name}(arg)\n"
+            assert ids(findings_for(
+                source, "src/repro/cluster/frontend.py",
+                "layering-cluster-boundary",
+            )) == ["layering-cluster-boundary"], name
+
+    def test_backend_module_may_construct_services(self):
+        source = "service = QueryService(engine, workers=2)\n"
+        assert findings_for(
+            source, "src/repro/cluster/backend.py",
+            "layering-cluster-boundary",
+        ) == []
+
+    def test_replicated_device_is_middleware_guarded(self):
+        source = "x = ReplicatedDevice([a, b])\n"
+        assert ids(findings_for(
+            source, "src/repro/core/x.py",
+            "layering-middleware-construction",
+        )) == ["layering-middleware-construction"]
+        assert findings_for(
+            source, "src/repro/storage/replication.py",
+            "layering-middleware-construction",
         ) == []
 
 

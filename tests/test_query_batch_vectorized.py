@@ -207,7 +207,7 @@ class TestScanCoordinatorBulkFetch:
         coordinator = view.store.coordinator
         blocks = list(engine.store.device.block_ids())[:2]
         target = blocks[0]
-        key = (coordinator._shard_of(target), target)
+        key = (coordinator.namespace, coordinator._shard_of(target), target)
         flight = _Flight()
         flight.result = {"sentinel": 42.0}
         flight.event.set()

@@ -31,6 +31,7 @@ MIDDLEWARE = [k for k in CANONICAL_ORDER if k != "disk"]
 #: the stack must be exercisable without injecting anything).
 OPTIONS = {
     "metered": {},
+    "replicated": {"replicas": 1},
     "resilient": {},
     "caching": {"capacity": 4},
     "crc": {},
