@@ -17,6 +17,6 @@ follow the paper's architecture:
 
 from repro.core.aims import AIMS, AIMSConfig
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = ["AIMS", "AIMSConfig", "__version__"]

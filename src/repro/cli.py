@@ -459,18 +459,56 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_files(root, ref: str) -> list[str] | None:
+    """Repo-relative ``.py`` paths touched vs. ``ref`` (plus untracked).
+
+    ``None`` means git could not answer (not a repository, bad ref);
+    the caller turns that into a usage error rather than guessing.
+    """
+    import subprocess
+
+    files: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, cwd=str(root), capture_output=True, text=True,
+                check=True,
+            )
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        files.update(
+            line.strip() for line in proc.stdout.splitlines()
+            if line.strip()
+        )
+    return sorted(f for f in files if f.endswith(".py"))
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the architectural-invariant linter (``repro.lint``).
 
+    ``--deep`` adds the whole-program analyzers
+    (:mod:`repro.lint.analysis`); ``--changed [REF]`` restricts
+    reporting to files touched vs. a git ref (deep analyzers still see
+    the whole tree — cross-file facts do not respect a diff boundary).
     Exits 0 when every rule is clean (or explicitly suppressed with a
     justification comment), 1 when any error-severity finding remains,
-    2 on usage errors — the contract the ``lint-invariants`` CI job
-    gates on.
+    2 on usage errors — the contract the lint CI jobs gate on.
     """
     import json
     from pathlib import Path
 
-    from repro.lint import LintEngine, all_rules, get_rule, repo_root
+    from repro import __version__
+    from repro.lint import (
+        LintEngine,
+        LintError,
+        all_rules,
+        get_rule,
+        load_config,
+        repo_root,
+    )
 
     rules = all_rules()
     if args.rules:
@@ -480,41 +518,108 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             if rule_id.strip()
         ]
     root = repo_root()
+    try:
+        config = load_config(root)
+    except LintError as exc:
+        print(f"aims lint: {exc}", file=sys.stderr)
+        return 2
+    changed: list[str] | None = None
+    if args.changed is not None:
+        changed = _changed_files(root, args.changed)
+        if changed is None:
+            print(f"aims lint: cannot diff against {args.changed!r} "
+                  f"(not a git checkout, or unknown ref)",
+                  file=sys.stderr)
+            return 2
     if args.paths:
         paths = [Path(p) for p in args.paths]
     else:
-        default = root / "src" / "repro"
-        if not default.is_dir():
-            print("no src/repro tree next to the installed package; "
-                  "pass explicit paths to lint", file=sys.stderr)
+        paths = [root / rel for rel in config.roots]
+        if not any(p.exists() for p in paths):
+            print("no configured source tree next to the installed "
+                  "package; pass explicit paths to lint",
+                  file=sys.stderr)
             return 2
-        paths = [default]
+        paths = [p for p in paths if p.exists()]
     missing = [str(p) for p in paths if not p.exists()]
     if missing:
         print(f"no such path(s): {missing}", file=sys.stderr)
         return 2
+    if changed is not None:
+        # Per-file rules only need to visit the touched files that sit
+        # under the requested trees.
+        resolved = [p.resolve() for p in paths]
+        keep = []
+        for rel in changed:
+            file = (root / rel).resolve()
+            if not file.is_file():
+                continue  # deleted files have nothing to lint
+            if any(
+                base == file or base in file.parents
+                for base in resolved
+            ):
+                keep.append(root / rel)
+        paths = keep
     findings = LintEngine(rules).lint_paths(paths, root=root)
+    findings = [
+        f for f in findings if not config.excluded(f.rule_id, f.file)
+    ]
+    deep_stats = None
+    rule_meta = {
+        r.rule_id: (r.severity, r.description) for r in rules
+    }
+    if args.deep:
+        from repro.lint.analysis import DEEP_RULES, run_deep
+
+        report = run_deep(
+            root,
+            config,
+            use_cache=not args.no_cache,
+            only_files=changed,
+        )
+        findings = sorted(findings + report.findings)
+        deep_stats = report.stats
+        for rule_id, description in DEEP_RULES.items():
+            rule_meta[rule_id] = ("error", description)
     errors = sum(1 for f in findings if f.severity == "error")
     warnings = len(findings) - errors
     if args.format == "json":
+        payload = {
+            "schema": "repro.lint/v1",
+            "rules": [
+                {"id": rule_id, "severity": sev, "description": desc}
+                for rule_id, (sev, desc) in sorted(rule_meta.items())
+            ],
+            "findings": [f.as_dict() for f in findings],
+            "summary": {"errors": errors, "warnings": warnings},
+        }
+        if deep_stats is not None:
+            payload["deep"] = deep_stats
+        if changed is not None:
+            payload["changed"] = changed
+        print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        from repro.lint.sarif import to_sarif
+
         print(json.dumps(
-            {
-                "schema": "repro.lint/v1",
-                "rules": [
-                    {"id": r.rule_id, "severity": r.severity,
-                     "description": r.description}
-                    for r in rules
-                ],
-                "findings": [f.as_dict() for f in findings],
-                "summary": {"errors": errors, "warnings": warnings},
-            },
+            to_sarif(
+                findings,
+                {rid: desc for rid, (_, desc) in rule_meta.items()},
+                __version__,
+            ),
             indent=2,
         ))
     else:
         for finding in findings:
             print(finding.format())
+        tail = f"({len(rule_meta)} rule(s))"
+        if deep_stats is not None:
+            tail += (
+                f" [deep: {deep_stats['files']} file(s), "
+                f"{deep_stats['cached']} cached]"
+            )
         print(f"aims lint: {errors} error(s), {warnings} warning(s) "
-              f"({len(rules)} rule(s))")
+              f"{tail}")
     return 1 if errors else 0
 
 
@@ -770,13 +875,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="check the architectural invariants (repro.lint)",
     )
     lint.add_argument("paths", nargs="*",
-                      help="files or directories to lint "
-                           "(default: the src/repro tree)")
-    lint.add_argument("--format", choices=("text", "json"),
+                      help="files or directories to lint (default: "
+                           "the [tool.repro-lint] roots)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
                       default="text", help="report format (default text)")
     lint.add_argument("--rules", default=None,
                       help="comma-separated rule ids to run "
                            "(default: every registered rule)")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the whole-program analyzers "
+                           "(lockset races, lock-order cycles, "
+                           "exception contracts, catalogue drift)")
+    lint.add_argument("--changed", nargs="?", const="HEAD",
+                      default=None, metavar="REF",
+                      help="only report findings in files changed vs. "
+                           "a git ref (default HEAD); deep analyzers "
+                           "still read the whole tree")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="ignore and do not write the deep-analysis "
+                           "incremental cache")
     return parser
 
 

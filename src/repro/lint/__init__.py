@@ -17,6 +17,7 @@ The rule catalogue, what each rule guards, and how to suppress one are
 documented in ``docs/ARCHITECTURE.md`` ("Enforced invariants").
 """
 
+from repro.lint.config import LintConfig, load_config
 from repro.lint.engine import (
     BaseRule,
     FileContext,
@@ -43,6 +44,7 @@ __all__ = [
     "FileContext",
     "Finding",
     "InstrumentedLock",
+    "LintConfig",
     "LintEngine",
     "LintError",
     "LockOrderError",
@@ -52,6 +54,7 @@ __all__ = [
     "all_rules",
     "get_rule",
     "lint_repo",
+    "load_config",
     "register",
     "repo_root",
     "watched_lock",

@@ -1,0 +1,150 @@
+"""Whole-program deep analysis on top of the per-file lint engine.
+
+``aims lint`` runs per-file rule packs; ``aims lint --deep`` adds this
+layer: one parse of the configured roots into a
+:class:`~repro.lint.analysis.model.ProjectModel` (with a content-hash
+incremental cache), then cross-file analyzers over it:
+
+* ``deep-lockset-race`` — attributes mutated both inside and outside a
+  class's critical sections;
+* ``deep-lock-order`` — lock-order cycles in the static may-nest
+  graph (the compile-time twin of ``repro.lint.lockwatch``);
+* ``deep-exception-contract`` — bare builtin raises reachable from
+  public boundary entry points;
+* ``deep-metric-drift`` / ``deep-schema-drift`` — two-way diff of
+  metric registrations and ``repro.*/vN`` schema strings against the
+  documentation catalogues.
+
+Deep findings flow through the same machinery as per-file ones: they
+are :class:`~repro.lint.engine.Finding` records, honour ``# lint:
+ignore[...]`` suppressions at the anchored line (for findings in
+modelled source files), and can be configured off per-file via
+``[tool.repro-lint] exclude``.  Findings anchored in docs (stale
+catalogue rows) have no inline-comment channel; the config exclude is
+their escape hatch.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.lint.analysis.cache import CACHE_SCHEMA, AnalysisCache
+from repro.lint.analysis.contracts import ExceptionContractAnalyzer
+from repro.lint.analysis.drift import MetricDriftAnalyzer, SchemaDriftAnalyzer
+from repro.lint.analysis.locks import LockOrderAnalyzer, LocksetRaceAnalyzer
+from repro.lint.analysis.model import ProjectModel, build_project
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import PARSE_ERROR_RULE, Finding, repo_root
+from repro.obs import counter as obs_counter
+from repro.obs import gauge as obs_gauge
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_SCHEMA",
+    "DEEP_RULES",
+    "DeepReport",
+    "deep_analyzers",
+    "run_deep",
+]
+
+
+def deep_analyzers(config: LintConfig) -> list:
+    """The deep analyzer set, configured for one repository."""
+    return [
+        ExceptionContractAnalyzer(config.boundary_packages),
+        LockOrderAnalyzer(),
+        LocksetRaceAnalyzer(),
+        MetricDriftAnalyzer(config.docs),
+        SchemaDriftAnalyzer(config.docs, config.schema_roots),
+    ]
+
+
+#: rule id -> description, for ``--rules`` listings and SARIF metadata.
+DEEP_RULES = {
+    a.rule_id: a.description for a in deep_analyzers(LintConfig())
+}
+
+
+class DeepReport:
+    """One deep run: surviving findings plus model/cache statistics."""
+
+    def __init__(self, findings: list[Finding], stats: dict) -> None:
+        self.findings = findings
+        self.stats = stats
+
+
+def run_deep(
+    root=None,
+    config: LintConfig | None = None,
+    use_cache: bool = True,
+    only_files=None,
+) -> DeepReport:
+    """Run every deep analyzer over the configured roots.
+
+    ``only_files`` (repo-relative posix paths) restricts *reporting* to
+    findings anchored in those files — the model is always built from
+    the whole tree, because cross-file facts (who calls whom, which
+    catalogue row is live) do not respect a diff boundary.  This is
+    what backs ``aims lint --deep --changed``.
+    """
+    root = Path(root) if root is not None else repo_root()
+    if config is None:
+        config = load_config(root)
+    cache = AnalysisCache(root / config.cache) if use_cache else None
+    started = time.perf_counter()
+    model = build_project(root, config, cache)
+    parse_seconds = time.perf_counter() - started
+    if cache is not None:
+        cache.prune(model.summaries)
+        cache.save()
+
+    findings: list[Finding] = []
+    timings: dict[str, float] = {}
+    # Unparseable files hide from every cross-file analysis; that is a
+    # finding in itself, same id as the per-file engine uses.
+    for summary in model.modules():
+        if summary.parse_error is not None:
+            findings.append(
+                Finding(
+                    file=summary.path,
+                    line=summary.parse_error,
+                    rule_id=PARSE_ERROR_RULE,
+                    severity="error",
+                    message=(
+                        "file does not parse; deep analyses cannot "
+                        "see it"
+                    ),
+                )
+            )
+    for analyzer in deep_analyzers(config):
+        t0 = time.perf_counter()
+        findings.extend(analyzer.analyze(model))
+        timings[analyzer.rule_id] = time.perf_counter() - t0
+
+    def survives(f: Finding) -> bool:
+        if config.excluded(f.rule_id, f.file):
+            return False
+        summary = model.summaries.get(f.file)
+        if summary is not None and summary.is_suppressed(f.line, f.rule_id):
+            return False
+        return True
+
+    findings = sorted(f for f in findings if survives(f))
+    if only_files is not None:
+        keep = {Path(p).as_posix() for p in only_files}
+        findings = [f for f in findings if f.file in keep]
+
+    obs_counter("lint.deep.runs").inc()
+    obs_gauge("lint.deep.findings").set(len(findings))
+    obs_gauge("lint.deep.files.parsed").set(model.parsed)
+    obs_gauge("lint.deep.files.cached").set(model.cached)
+    stats = {
+        "files": len(model.summaries),
+        "parsed": model.parsed,
+        "cached": model.cached,
+        "cache_used": cache is not None,
+        "parse_seconds": parse_seconds,
+        "analyzer_seconds": timings,
+    }
+    return DeepReport(findings, stats)

@@ -1,0 +1,135 @@
+"""Linter configuration: the ``[tool.repro-lint]`` pyproject section.
+
+Which trees get linted, which docs hold the metric catalogue, and which
+files a given rule deliberately skips used to be hard-coded in
+:func:`~repro.lint.engine.lint_repo` and the CLI.  They are now
+project configuration, read from ``pyproject.toml``::
+
+    [tool.repro-lint]
+    roots = ["src/repro"]                 # trees the per-file rules lint
+    docs = ["DESIGN.md", "docs/OPERATIONS.md", "docs/REPLAY.md"]
+    schema-roots = ["src/repro", "benchmarks"]
+    boundary-packages = ["repro.storage", "repro.query",
+                         "repro.streams", "repro.cluster"]
+    cache = ".repro-lint-cache.json"
+
+    [tool.repro-lint.exclude]
+    # per-rule repo-relative glob excludes: benchmarks/examples are
+    # configured out of a rule, not special-cased in its code.
+    "deep-metric-drift" = ["examples/*"]
+
+Everything has a default matching the repo's layout, so a missing
+section (or a missing ``pyproject.toml``) behaves exactly like the
+pre-configuration linter.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.engine import LintError
+
+__all__ = ["LintConfig", "load_config"]
+
+#: Default docs holding the metric/schema catalogues the drift checker
+#: diffs against.
+DEFAULT_DOCS = ("DESIGN.md", "docs/OPERATIONS.md", "docs/REPLAY.md")
+
+#: Default packages whose public surface may only raise AIMSError
+#: subclasses (the exception-contract boundary).
+DEFAULT_BOUNDARIES = (
+    "repro.storage",
+    "repro.query",
+    "repro.streams",
+    "repro.cluster",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved linter configuration for one repository root."""
+
+    #: Repo-relative directory trees the per-file rules lint (and the
+    #: deep analyzers parse into the project model).
+    roots: tuple[str, ...] = ("src/repro",)
+    #: Repo-relative docs holding the metric + schema catalogues.
+    docs: tuple[str, ...] = DEFAULT_DOCS
+    #: Trees scanned (textually) for ``repro.*/vN`` schema strings.
+    schema_roots: tuple[str, ...] = ("src/repro", "benchmarks")
+    #: Packages whose public entry points form the exception boundary.
+    boundary_packages: tuple[str, ...] = DEFAULT_BOUNDARIES
+    #: Repo-relative path of the incremental analysis cache.
+    cache: str = ".repro-lint-cache.json"
+    #: rule id -> repo-relative glob patterns that rule skips.
+    exclude: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def excluded(self, rule_id: str, file: str) -> bool:
+        """Whether ``rule_id`` is configured off for ``file``."""
+        patterns = self.exclude.get(rule_id, ())
+        posix = Path(file).as_posix()
+        return any(fnmatch.fnmatch(posix, pat) for pat in patterns)
+
+
+def _as_str_tuple(value, key: str) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(v, str) for v in value
+    ):
+        raise LintError(
+            f"[tool.repro-lint] {key} must be a list of strings, "
+            f"got {value!r}"
+        )
+    return tuple(value)
+
+
+def load_config(root) -> LintConfig:
+    """Read ``[tool.repro-lint]`` from ``<root>/pyproject.toml``.
+
+    A missing file or section yields the defaults; a malformed section
+    raises :class:`~repro.lint.engine.LintError` (configuration bugs
+    fail loudly, not as silently-skipped rules).
+    """
+    pyproject = Path(root) / "pyproject.toml"
+    if not pyproject.is_file():
+        return LintConfig()
+    with pyproject.open("rb") as fh:
+        data = tomllib.load(fh)
+    section = data.get("tool", {}).get("repro-lint")
+    if section is None:
+        return LintConfig()
+    kwargs: dict = {}
+    mapping = {
+        "roots": "roots",
+        "docs": "docs",
+        "schema-roots": "schema_roots",
+        "boundary-packages": "boundary_packages",
+    }
+    for key, attr in mapping.items():
+        if key in section:
+            kwargs[attr] = _as_str_tuple(section[key], key)
+    if "cache" in section:
+        if not isinstance(section["cache"], str):
+            raise LintError(
+                f"[tool.repro-lint] cache must be a string, "
+                f"got {section['cache']!r}"
+            )
+        kwargs["cache"] = section["cache"]
+    exclude = section.get("exclude", {})
+    if not isinstance(exclude, dict):
+        raise LintError(
+            f"[tool.repro-lint] exclude must be a table, got {exclude!r}"
+        )
+    kwargs["exclude"] = {
+        rule_id: _as_str_tuple(patterns, f"exclude.{rule_id}")
+        for rule_id, patterns in exclude.items()
+    }
+    known = set(mapping) | {"cache", "exclude"}
+    unknown = sorted(set(section) - known)
+    if unknown:
+        raise LintError(
+            f"[tool.repro-lint] unknown key(s) {unknown}; "
+            f"known: {sorted(known)}"
+        )
+    return LintConfig(**kwargs)

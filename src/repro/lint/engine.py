@@ -290,7 +290,23 @@ def repo_root() -> Path:
     return Path(__file__).resolve().parents[3]
 
 
-def lint_repo(root=None, rules: Iterable[Rule] | None = None) -> list[Finding]:
-    """Lint the library source tree (``src/repro``) under ``root``."""
+def lint_repo(root=None, rules: Iterable[Rule] | None = None,
+              config=None) -> list[Finding]:
+    """Lint the configured source trees under ``root``.
+
+    The trees come from ``[tool.repro-lint] roots`` in the repo's
+    ``pyproject.toml`` (default ``src/repro``), and findings a
+    configured per-rule exclude covers are dropped.
+    """
+    # Imported here: config needs LintError from this module.
+    from repro.lint.config import load_config
+
     root = Path(root) if root is not None else repo_root()
-    return LintEngine(rules).lint_paths([root / "src" / "repro"], root=root)
+    if config is None:
+        config = load_config(root)
+    findings = LintEngine(rules).lint_paths(
+        [root / rel for rel in config.roots], root=root
+    )
+    return [
+        f for f in findings if not config.excluded(f.rule_id, f.file)
+    ]

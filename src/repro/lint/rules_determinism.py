@@ -5,8 +5,11 @@ because every stochastic component draws from an explicitly seeded
 generator — ``np.random.default_rng(seed)`` or ``random.Random(seed)``.
 ``determinism-seeded-rng`` bans the global-state alternatives inside
 ``src/repro``: module-level ``np.random.*`` convenience functions,
-module-level ``random.*`` draws, unseeded ``default_rng()`` /
-``Random()``, and ``SystemRandom`` (unseedable by design).
+module-level ``random.*`` draws (whether called as ``random.shuffle``
+or imported bare via ``from random import shuffle``), unseeded
+``default_rng()`` / ``Random()``, ``SystemRandom`` (unseedable by
+design), and wall-clock seeds — ``Random(time.time())`` is just the
+hidden global RNG with extra steps: two runs never share a seed.
 """
 
 from __future__ import annotations
@@ -36,6 +39,13 @@ RANDOM_MODULE_DRAWS = frozenset(
 )
 
 
+#: ``time``-module readings that make a run-unique (irreproducible) seed.
+WALL_CLOCK_FNS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+     "perf_counter_ns"}
+)
+
+
 def _imported_names(tree: ast.AST) -> dict[str, str]:
     """Map of local alias -> imported module for plain ``import`` forms."""
     out: dict[str, str] = {}
@@ -43,6 +53,16 @@ def _imported_names(tree: ast.AST) -> dict[str, str]:
         if isinstance(node, ast.Import):
             for alias in node.names:
                 out[alias.asname or alias.name.split(".")[0]] = alias.name
+    return out
+
+
+def _from_imported(tree: ast.AST) -> dict[str, tuple[str, str]]:
+    """Map of local alias -> (module, name) for ``from m import n``."""
+    out: dict[str, tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                out[alias.asname or alias.name] = (node.module, alias.name)
     return out
 
 
@@ -60,17 +80,108 @@ class SeededRngRule(BaseRule):
         if not ctx.in_package("repro"):
             return
         imports = _imported_names(ctx.tree)
+        from_imports = _from_imported(ctx.tree)
         numpy_aliases = {
             alias for alias, mod in imports.items() if mod == "numpy"
         }
         random_aliases = {
             alias for alias, mod in imports.items() if mod == "random"
         }
+        time_aliases = {
+            alias for alias, mod in imports.items() if mod == "time"
+        }
+        # Bare names that are really random-module draws / constructors
+        # or time readings (``from random import shuffle``).
+        bare_draws = {
+            alias for alias, (mod, name) in from_imports.items()
+            if mod == "random" and name in RANDOM_MODULE_DRAWS
+        }
+        bare_ctors = {
+            alias: name for alias, (mod, name) in from_imports.items()
+            if (mod == "random" and name in ("Random", "SystemRandom"))
+            or (mod == "numpy.random" and name == "default_rng")
+        }
+        bare_clocks = {
+            alias for alias, (mod, name) in from_imports.items()
+            if mod == "time" and name in WALL_CLOCK_FNS
+        }
+
+        def is_wall_clock(expr: ast.expr) -> bool:
+            # int(time.time()) seeds are as irreproducible as the raw
+            # float; unwrap the cast.
+            if (isinstance(expr, ast.Call)
+                    and isinstance(expr.func, ast.Name)
+                    and expr.func.id == "int" and len(expr.args) == 1):
+                return is_wall_clock(expr.args[0])
+            if not isinstance(expr, ast.Call):
+                return False
+            fn = expr.func
+            if (isinstance(fn, ast.Attribute)
+                    and isinstance(fn.value, ast.Name)
+                    and fn.value.id in time_aliases
+                    and fn.attr in WALL_CLOCK_FNS):
+                return True
+            return isinstance(fn, ast.Name) and fn.id in bare_clocks
+
+        def seed_args(node: ast.Call) -> list[ast.expr]:
+            args = list(node.args[:1])
+            args.extend(
+                kw.value for kw in node.keywords if kw.arg == "seed"
+            )
+            return args
+
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in bare_draws:
+                    _, origin = from_imports[func.id]
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{func.id}() is random.{origin} imported "
+                        f"bare; it draws from the hidden global RNG — "
+                        f"use a seeded random.Random(seed) instead",
+                    )
+                elif func.id in bare_ctors:
+                    origin = bare_ctors[func.id]
+                    if origin == "SystemRandom":
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "random.SystemRandom is unseedable; "
+                            "benchmarks cannot replay its draws",
+                        )
+                    elif not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{origin}() without a seed; pass an "
+                            f"explicit seed for reproducible runs",
+                        )
+                    elif any(is_wall_clock(a) for a in seed_args(node)):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{origin}() seeded from the wall clock; "
+                            f"two runs never share a seed — use a "
+                            f"fixed or configured seed",
+                        )
+                continue
             if not isinstance(func, ast.Attribute):
+                continue
+            # <anything>.seed(time.time()) re-seeds a generator from
+            # the clock, defeating replay no matter how it was built.
+            if func.attr == "seed" and any(
+                is_wall_clock(a) for a in seed_args(node)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "seed(...) from the wall clock; two runs never "
+                    "share a seed — use a fixed or configured seed",
+                )
                 continue
             value = func.value
             # np.random.<fn>(...)
@@ -87,6 +198,14 @@ class SeededRngRule(BaseRule):
                             node,
                             "np.random.default_rng() without a seed; "
                             "pass an explicit seed for reproducible runs",
+                        )
+                    elif any(is_wall_clock(a) for a in seed_args(node)):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "np.random.default_rng() seeded from the "
+                            "wall clock; two runs never share a seed — "
+                            "use a fixed or configured seed",
                         )
                 elif func.attr not in NP_RANDOM_ALLOWED:
                     yield self.finding(
@@ -108,15 +227,22 @@ class SeededRngRule(BaseRule):
                         f"RNG; draw from a seeded random.Random(seed) "
                         f"instead",
                     )
-                elif func.attr == "Random" and not node.args and not (
-                    node.keywords
-                ):
-                    yield self.finding(
-                        ctx,
-                        node,
-                        "random.Random() without a seed; pass an "
-                        "explicit seed for reproducible runs",
-                    )
+                elif func.attr == "Random":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "random.Random() without a seed; pass an "
+                            "explicit seed for reproducible runs",
+                        )
+                    elif any(is_wall_clock(a) for a in seed_args(node)):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "random.Random() seeded from the wall "
+                            "clock; two runs never share a seed — use "
+                            "a fixed or configured seed",
+                        )
                 elif func.attr == "SystemRandom":
                     yield self.finding(
                         ctx,

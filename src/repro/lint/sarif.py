@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 rendering for lint findings.
+
+CI code-scanning UIs (and most editors) speak SARIF; ``aims lint
+--format sarif`` emits one run with every triggered-or-known rule in
+``tool.driver.rules`` and one result per finding.  The output is a
+plain dict from :func:`to_sarif` so the CLI can ``json.dumps`` it with
+its usual settings, and tests can assert on structure rather than
+text.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import Finding
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: finding severity -> SARIF result level
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def to_sarif(
+    findings: list[Finding],
+    rules: dict[str, str],
+    tool_version: str,
+) -> dict:
+    """A SARIF 2.1.0 log for one lint run.
+
+    ``rules`` maps rule id to description; ids that only appear in
+    findings (e.g. ``parse-error``) are added with an empty
+    description so every result's ``ruleIndex`` resolves.
+    """
+    all_rules = dict(rules)
+    for finding in findings:
+        all_rules.setdefault(finding.rule_id, "")
+    rule_ids = sorted(all_rules)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "version": tool_version,
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": all_rules[rule_id]
+                                    or rule_id,
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.rule_id,
+                        "ruleIndex": rule_index[f.rule_id],
+                        "level": _LEVELS.get(f.severity, "warning"),
+                        "message": {"text": f.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": f.file,
+                                    },
+                                    "region": {
+                                        "startLine": max(f.line, 1),
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for f in findings
+                ],
+            }
+        ],
+    }

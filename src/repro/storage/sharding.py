@@ -158,7 +158,10 @@ class ShardedDevice:  # lint: ignore[obs-coverage] — pure fan-out; StorageSpec
         # Best-effort: __init__ may have raised before the pool existed.
         pool = getattr(self, "_pool", None)
         if pool is not None:
-            self._pool = None
+            # __del__ only runs once the object is unreachable, so no
+            # concurrent writer exists; taking _pool_lock here could
+            # deadlock a GC pass firing while the lock is held.
+            self._pool = None  # lint: ignore[deep-lockset-race] -- unreachable in __del__
             pool.shutdown(wait=False)
 
     def write_block(self, block_id: Hashable, items) -> None:

@@ -99,6 +99,51 @@ class TestSuppression:
         )
         assert LintEngine().lint_source(source, "src/repro/x.py") == []
 
+    def test_one_comment_silences_several_rules(self):
+        # One line can violate several rules; a single comma-separated
+        # ignore covers exactly the listed ids.
+        source = """
+        import random
+        import time
+
+        class C:
+            def f(self):
+                with self._lock:
+                    time.sleep(random.random())  # lint: ignore[lock-no-blocking, determinism-seeded-rng] — fixture
+        """
+        assert findings_for(source, "src/repro/x.py") == []
+        partial = source.replace(", determinism-seeded-rng", "")
+        assert ids(findings_for(partial, "src/repro/x.py")) == [
+            "determinism-seeded-rng"
+        ]
+
+    def test_parse_errors_are_not_suppressible(self):
+        # The suppression table comes from the parsed file; a file that
+        # does not parse cannot excuse itself.
+        source = "# lint: ignore-file[parse-error]\ndef broken(:\n"
+        findings = findings_for(source, "src/repro/x.py")
+        assert ids(findings) == [PARSE_ERROR_RULE]
+
+    def test_ignore_file_still_applies_alongside_other_findings(self):
+        # A file-wide ignore for one rule must not swallow findings of
+        # other rules elsewhere in the same file.
+        source = """
+        # lint: ignore-file[lock-naming]
+        import threading
+        import time
+
+        class C:
+            def __init__(self):
+                self.mylock = threading.Lock()
+
+            def f(self):
+                with self._lock:
+                    time.sleep(1)
+        """
+        assert ids(findings_for(source, "src/repro/x.py")) == [
+            "lock-no-blocking"
+        ]
+
 
 class TestLayeringRules:
     def test_middleware_construction_outside_builder_flagged(self):
@@ -399,6 +444,76 @@ class TestDeterminismRules:
 
     def test_unrelated_name_random_not_confused_with_the_module(self):
         source = "x = roller.random()\n"
+        assert findings_for(
+            source, "src/repro/faults/x.py", "determinism-seeded-rng"
+        ) == []
+
+    def test_bare_imported_shuffle_and_sample_flagged(self):
+        source = (
+            "from random import shuffle, sample as smp\n"
+            "def f(xs):\n"
+            "    shuffle(xs)\n"
+            "    return smp(xs, 2)\n"
+        )
+        findings = findings_for(
+            source, "src/repro/faults/x.py", "determinism-seeded-rng"
+        )
+        assert ids(findings) == ["determinism-seeded-rng"] * 2
+        assert "random.shuffle" in findings[0].message
+        assert "random.sample" in findings[1].message
+
+    def test_locally_defined_shuffle_not_confused(self):
+        source = (
+            "def shuffle(xs, rng):\n"
+            "    return rng.sample(xs, len(xs))\n"
+            "def f(xs, rng):\n"
+            "    return shuffle(xs, rng)\n"
+        )
+        assert findings_for(
+            source, "src/repro/faults/x.py", "determinism-seeded-rng"
+        ) == []
+
+    def test_wall_clock_seed_flagged(self):
+        source = (
+            "import random\nimport time\n"
+            "rng = random.Random(time.time())\n"
+        )
+        (finding,) = findings_for(
+            source, "src/repro/faults/x.py", "determinism-seeded-rng"
+        )
+        assert "wall clock" in finding.message
+
+    def test_int_wrapped_wall_clock_seed_flagged(self):
+        source = (
+            "import numpy as np\nimport time\n"
+            "rng = np.random.default_rng(seed=int(time.time()))\n"
+        )
+        (finding,) = findings_for(
+            source, "src/repro/analysis/x.py", "determinism-seeded-rng"
+        )
+        assert "wall clock" in finding.message
+
+    def test_bare_time_ns_seed_and_reseed_flagged(self):
+        source = (
+            "import random\nfrom time import time_ns\n"
+            "rng = random.Random(7)\n"
+            "rng.seed(time_ns())\n"
+        )
+        (finding,) = findings_for(
+            source, "src/repro/faults/x.py", "determinism-seeded-rng"
+        )
+        assert finding.line == 4
+
+    def test_fixed_and_configured_seeds_clean(self):
+        source = (
+            "import random\nimport numpy as np\n"
+            "from random import Random\n"
+            "r1 = random.Random(17)\n"
+            "r2 = Random(0)\n"
+            "r3 = np.random.default_rng(seed=2003)\n"
+            "def f(seed):\n"
+            "    return random.Random(seed)\n"
+        )
         assert findings_for(
             source, "src/repro/faults/x.py", "determinism-seeded-rng"
         ) == []
